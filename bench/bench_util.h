@@ -1,0 +1,60 @@
+#ifndef DECA_BENCH_BENCH_UTIL_H_
+#define DECA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/table_printer.h"
+#include "workloads/common.h"
+
+namespace deca::bench {
+
+/// Default executor sizing used across the reproduction benches: two
+/// executors with 64 MB heaps stand in for the paper's five 30 GB workers
+/// (a ~1000x uniform down-scale; all reported effects are ratios).
+inline spark::SparkConfig DefaultSpark(size_t heap_mb = 64) {
+  spark::SparkConfig cfg;
+  cfg.num_executors = 2;
+  cfg.partitions_per_executor = 2;
+  cfg.heap.heap_bytes = heap_mb << 20;
+  cfg.memory_fraction = 0.75;
+  cfg.spill_dir = "/tmp/deca_bench_spill";
+  return cfg;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper_ref,
+                        const std::string& notes) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  if (!notes.empty()) std::printf("%s\n", notes.c_str());
+  std::printf("================================================================\n");
+}
+
+inline std::string Ms(double v) { return TablePrinter::Num(v, 1); }
+inline std::string Mb(double v) { return TablePrinter::Num(v, 1); }
+inline std::string Pct(double v) { return TablePrinter::Num(v, 1) + "%"; }
+inline std::string Speedup(double base, double v) {
+  return TablePrinter::Num(base / v, 2) + "x";
+}
+
+/// Emits a (time, value) series as compact table rows, downsampled to at
+/// most `max_rows` points.
+inline void PrintSeries(const std::string& name, const TimeSeries& ts,
+                        int max_rows = 16) {
+  std::printf("%s (%zu samples):\n", name.c_str(), ts.size());
+  if (ts.size() == 0) return;
+  size_t step = ts.size() <= static_cast<size_t>(max_rows)
+                    ? 1
+                    : ts.size() / static_cast<size_t>(max_rows);
+  TablePrinter t({"t(ms)", "value"});
+  for (size_t i = 0; i < ts.size(); i += step) {
+    t.AddRow({TablePrinter::Num(ts.times_ms[i], 0),
+              TablePrinter::Num(ts.values[i], 0)});
+  }
+  t.Print();
+}
+
+}  // namespace deca::bench
+
+#endif  // DECA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,108 @@
+// Reproduces Table 5: controlled single-executor microbenchmarks that
+// isolate CPU and GC effects from scheduling and I/O — LR and PR with a
+// small heap (GC-bound) and a large heap (GC-free), for Spark / Deca /
+// SparkSer, plus the average per-object serialization and deserialization
+// cost of the Kryo-style serializer vs Deca's decomposition.
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "workloads/graph.h"
+#include "workloads/lr.h"
+
+using namespace deca;
+using namespace deca::bench;
+using namespace deca::workloads;
+
+int main() {
+  PrintHeader("Table 5: single-executor microbenchmark",
+              "Table 5 — LR/PR x {small, large} heap x 3 systems",
+              "One executor, one partition; heap sizes bracket the "
+              "working set");
+  TablePrinter t(
+      {"app", "heap", "mode", "exec(ms)", "gc(ms)", "full GCs", "deser(ms)"});
+  for (size_t heap_mb : {28, 256}) {
+    for (Mode mode : {Mode::kSpark, Mode::kDeca, Mode::kSparkSer}) {
+      MlParams p;
+      p.num_points = 120'000;
+      p.iterations = 20;
+      p.mode = mode;
+      p.spark = DefaultSpark(heap_mb);
+      p.spark.num_executors = 1;
+      p.spark.partitions_per_executor = 1;
+      p.spark.storage_fraction = 0.9;
+      LrResult r = RunLogisticRegression(p);
+      t.AddRow({"LR", std::to_string(heap_mb) + "MB", ModeName(mode),
+                Ms(r.run.exec_ms), Ms(r.run.gc_ms),
+                std::to_string(r.run.full_gcs), Ms(r.run.deser_ms)});
+    }
+  }
+  for (size_t heap_mb : {32, 256}) {
+    for (Mode mode : {Mode::kSpark, Mode::kDeca, Mode::kSparkSer}) {
+      GraphParams p;
+      p.num_vertices = 1u << 15;
+      p.num_edges = 1u << 19;  // Pokec-scale ratio (1.6M V / 30M E)
+      p.iterations = 6;
+      p.mode = mode;
+      p.spark = DefaultSpark(heap_mb);
+      p.spark.num_executors = 1;
+      p.spark.partitions_per_executor = 1;
+      p.spark.storage_fraction = 0.4;
+      PageRankResult r = RunPageRank(p);
+      t.AddRow({"PR", std::to_string(heap_mb) + "MB", ModeName(mode),
+                Ms(r.run.exec_ms), Ms(r.run.gc_ms),
+                std::to_string(r.run.full_gcs), Ms(r.run.deser_ms)});
+    }
+  }
+  t.Print();
+
+  // -- per-object serialization cost (bottom of Table 5).
+  {
+    jvm::ClassRegistry registry;
+    LrTypes types(&registry, 10);
+    jvm::HeapConfig hc;
+    hc.heap_bytes = 64u << 20;
+    jvm::Heap heap(hc, &registry);
+    jvm::HandleScope scope(&heap);
+    double feats[10];
+    for (int j = 0; j < 10; ++j) feats[j] = j * 0.25;
+    jvm::Handle lp = scope.Make(types.NewLabeledPoint(&heap, 1.0, feats));
+    const int kReps = 200'000;
+
+    ByteWriter w;
+    Stopwatch ser_sw;
+    for (int i = 0; i < kReps; ++i) {
+      w.Clear();
+      types.ops().serialize(&heap, lp.get(), &w);
+    }
+    double kryo_ser_us = ser_sw.ElapsedMillis() * 1000.0 / kReps;
+
+    Stopwatch deser_sw;
+    for (int i = 0; i < kReps; ++i) {
+      jvm::HandleScope inner(&heap);
+      ByteReader r(w.data(), w.size());
+      types.ops().deserialize(&heap, &r);
+    }
+    double kryo_deser_us = deser_sw.ElapsedMillis() * 1000.0 / kReps;
+
+    std::vector<uint8_t> seg(types.ops().deca_bytes(&heap, lp.get()));
+    Stopwatch dser_sw;
+    for (int i = 0; i < kReps; ++i) {
+      types.ops().decompose(&heap, lp.get(), seg.data());
+    }
+    double deca_ser_us = dser_sw.ElapsedMillis() * 1000.0 / kReps;
+
+    TablePrinter st({"cost per object", "Deca", "Kryo"});
+    st.AddRow({"serialize (us)", TablePrinter::Num(deca_ser_us, 3),
+               TablePrinter::Num(kryo_ser_us, 3)});
+    st.AddRow({"deserialize (us)", "0 (direct access)",
+               TablePrinter::Num(kryo_deser_us, 3)});
+    std::printf("\n");
+    st.Print();
+  }
+  std::printf(
+      "\nExpected shape (paper Table 5): with a large heap Deca ~= Spark\n"
+      "and SparkSer loses to deserialization; with a small heap Spark\n"
+      "becomes GC-bound while Deca stays flat. Deca's per-object\n"
+      "serialization cost matches Kryo's, and it pays no deserialization.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// GC substrate tour: drives the simulated managed runtime directly —
+// allocate object graphs, watch minor/full collections, compare the three
+// collectors, and see what decomposing data into pages does to pause
+// times. Useful for understanding the substrate under the Spark layer.
+//
+// Run: ./build/examples/gc_tour
+
+#include <cstdio>
+
+#include "core/page.h"
+#include "jvm/heap.h"
+
+using namespace deca;
+using namespace deca::jvm;
+
+namespace {
+
+void Tour(GcAlgorithm algo) {
+  ClassRegistry registry;
+  uint32_t point = registry.RegisterClass(
+      "Point", {{"x", FieldKind::kDouble}, {"next", FieldKind::kRef}});
+  HeapConfig cfg;
+  cfg.heap_bytes = 32u << 20;
+  cfg.algorithm = algo;
+  Heap heap(cfg, &registry);
+
+  // Phase 1: allocate 100k long-living objects (a "cache").
+  VectorRootProvider cache;
+  heap.AddRootProvider(&cache);
+  for (int i = 0; i < 100'000; ++i) {
+    ObjRef p = heap.AllocateInstance(point);
+    heap.SetField<double>(p, 0, i);
+    cache.refs().push_back(p);
+  }
+  // Phase 2: churn temporaries against the live cache.
+  for (int i = 0; i < 400'000; ++i) heap.AllocateInstance(point);
+  heap.CollectFull();
+
+  const GcStats& st = heap.stats();
+  std::printf(
+      "%-18s minor=%3llu (%.1fms)  full=%2llu (pause %.1fms, conc %.1fms)  "
+      "traced=%llu objects\n",
+      heap.collector()->name(), static_cast<unsigned long long>(st.minor_count),
+      st.minor_pause_ms, static_cast<unsigned long long>(st.full_count),
+      st.full_pause_ms, st.concurrent_ms,
+      static_cast<unsigned long long>(st.objects_traced));
+  heap.RemoveRootProvider(&cache);
+}
+
+void PagesVsObjects() {
+  ClassRegistry registry;
+  uint32_t point = registry.RegisterClass(
+      "Point", {{"x", FieldKind::kDouble}, {"next", FieldKind::kRef}});
+  HeapConfig cfg;
+  cfg.heap_bytes = 32u << 20;
+  Heap heap(cfg, &registry);
+
+  // 100k records as decomposed page segments instead of objects.
+  core::PageGroup pages(&heap, 64u << 10);
+  for (int i = 0; i < 100'000; ++i) {
+    core::SegPtr s = pages.Append(8);
+    StoreRaw<double>(pages.Resolve(s), i);
+  }
+  for (int i = 0; i < 400'000; ++i) heap.AllocateInstance(point);
+  heap.CollectFull();
+  const GcStats& st = heap.stats();
+  std::printf(
+      "%-18s minor=%3llu (%.1fms)  full=%2llu (pause %.1fms)  traced=%llu "
+      "objects  <- pages bypass tracing\n",
+      "PS + Deca pages",
+      static_cast<unsigned long long>(st.minor_count), st.minor_pause_ms,
+      static_cast<unsigned long long>(st.full_count), st.full_pause_ms,
+      static_cast<unsigned long long>(st.objects_traced));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== GC substrate tour: 100k live + 400k temporary objects ==\n");
+  Tour(GcAlgorithm::kParallelScavenge);
+  Tour(GcAlgorithm::kConcurrentMarkSweep);
+  Tour(GcAlgorithm::kG1);
+  PagesVsObjects();
+  std::printf(
+      "\nThe same live data as decomposed pages leaves the collectors with\n"
+      "almost nothing to trace — that is Deca's entire premise.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "analysis/global_classifier.h"
+
+namespace deca::analysis {
+
+SizeType GlobalClassifier::Classify(const UdtType* t) const {
+  SizeType local = local_.Classify(t);
+  if (local == SizeType::kRecurDef) return local;
+  // Algorithm 2.
+  if (SRefine(t, /*ctx=*/nullptr)) return SizeType::kStaticFixed;
+  if (local == SizeType::kRuntimeFixed || RRefine(t)) {
+    return SizeType::kRuntimeFixed;
+  }
+  return SizeType::kVariable;
+}
+
+bool GlobalClassifier::SRefine(const UdtType* t, const FieldRef* ctx) const {
+  // Algorithm 3. Primitive types are trivially static fixed.
+  if (t->is_primitive()) return true;
+  if (t->is_array()) {
+    // Line 7: the array itself must be fixed-length w.r.t. the field it is
+    // reached through.
+    if (ctx == nullptr) return false;
+    if (!call_graph_->IsFixedLengthArray(t, *ctx)) return false;
+    // Lines 2-6 for the element field: every element runtime type must be
+    // static fixed.
+    FieldRef elem_ref{t, t->element_field().name};
+    for (const UdtType* et : t->element_field().type_set) {
+      if (!et->is_primitive() && !SRefine(et, &elem_ref)) return false;
+    }
+    return true;
+  }
+  for (const auto& f : t->fields()) {
+    FieldRef fr{t, f.name};
+    for (const UdtType* ft : f.type_set) {
+      if (!ft->is_primitive() && !SRefine(ft, &fr)) return false;
+    }
+  }
+  return true;
+}
+
+bool GlobalClassifier::RRefine(const UdtType* t) const {
+  // Algorithm 4.
+  if (t->is_primitive()) return true;
+  if (t->is_array()) {
+    // Lemma 2 + footnote: array element fields are never init-only, so an
+    // array is runtime fixed only when every element type is SFST (which
+    // the local classifier already recognizes) — an element type that is
+    // merely RFST would let element assignments change the data-size.
+    FieldRef elem_ref{t, t->element_field().name};
+    for (const UdtType* et : t->element_field().type_set) {
+      if (!et->is_primitive() && !SRefine(et, &elem_ref)) return false;
+    }
+    return true;
+  }
+  for (const auto& f : t->fields()) {
+    FieldRef fr{t, f.name};
+    bool needs_init_only = false;
+    for (const UdtType* ft : f.type_set) {
+      if (ft->is_primitive()) continue;
+      if (SRefine(ft, &fr)) continue;
+      if (RRefine(ft)) {
+        needs_init_only = true;
+      } else {
+        return false;
+      }
+    }
+    if (needs_init_only && !call_graph_->IsInitOnly(fr)) return false;
+  }
+  return true;
+}
+
+SizeType PhasedRefinement::ClassifyInPhase(const UdtType* t,
+                                           size_t phase) const {
+  GlobalClassifier classifier(phase_graphs_[phase]);
+  return classifier.Classify(t);
+}
+
+std::vector<SizeType> PhasedRefinement::ClassifyAllPhases(
+    const UdtType* t) const {
+  std::vector<SizeType> result;
+  result.reserve(phase_graphs_.size());
+  for (size_t i = 0; i < phase_graphs_.size(); ++i) {
+    result.push_back(ClassifyInPhase(t, i));
+  }
+  return result;
+}
+
+}  // namespace deca::analysis

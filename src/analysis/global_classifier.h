@@ -1,0 +1,60 @@
+#ifndef DECA_ANALYSIS_GLOBAL_CLASSIFIER_H_
+#define DECA_ANALYSIS_GLOBAL_CLASSIFIER_H_
+
+#include <unordered_map>
+
+#include "analysis/local_classifier.h"
+#include "analysis/method_ir.h"
+#include "analysis/size_type.h"
+#include "analysis/udt_type.h"
+
+namespace deca::analysis {
+
+/// The global classification analysis (paper Algorithm 2, with the SFST
+/// and RFST refinements of Algorithms 3 and 4). Uses code analysis over
+/// the scope's call graph to identify init-only fields and fixed-length
+/// array types, breaking the local classifier's conservative assumptions.
+class GlobalClassifier {
+ public:
+  explicit GlobalClassifier(const CallGraph* call_graph)
+      : call_graph_(call_graph) {}
+
+  /// Algorithm 2: local classification, then refinement. RecurDef types
+  /// are never refined.
+  SizeType Classify(const UdtType* t) const;
+
+  /// Algorithm 3: can `t` be refined to StaticFixed? `ctx` is the field
+  /// through which `t` is reached (needed for the fixed-length array
+  /// query); null for the top-level type.
+  bool SRefine(const UdtType* t, const FieldRef* ctx) const;
+
+  /// Algorithm 4: can `t` be refined to RuntimeFixed?
+  bool RRefine(const UdtType* t) const;
+
+ private:
+  const CallGraph* call_graph_;
+  LocalClassifier local_;
+};
+
+/// Phased refinement (paper Section 3.4): classifies a type within each
+/// execution phase of a job; types that are VSTs in an early phase may be
+/// RFSTs or SFSTs in later phases once their objects stop being mutated.
+class PhasedRefinement {
+ public:
+  /// `phase_graphs[i]` is the call graph of phase i.
+  explicit PhasedRefinement(std::vector<const CallGraph*> phase_graphs)
+      : phase_graphs_(std::move(phase_graphs)) {}
+
+  /// Size-type of `t` within phase `phase`.
+  SizeType ClassifyInPhase(const UdtType* t, size_t phase) const;
+
+  /// Size-types across all phases.
+  std::vector<SizeType> ClassifyAllPhases(const UdtType* t) const;
+
+ private:
+  std::vector<const CallGraph*> phase_graphs_;
+};
+
+}  // namespace deca::analysis
+
+#endif  // DECA_ANALYSIS_GLOBAL_CLASSIFIER_H_

@@ -1,0 +1,96 @@
+#include "analysis/local_classifier.h"
+
+#include <unordered_set>
+
+namespace deca::analysis {
+
+const char* SizeTypeName(SizeType s) {
+  switch (s) {
+    case SizeType::kStaticFixed:
+      return "SFST";
+    case SizeType::kRuntimeFixed:
+      return "RFST";
+    case SizeType::kVariable:
+      return "VST";
+    case SizeType::kRecurDef:
+      return "RecurDef";
+  }
+  return "?";
+}
+
+namespace {
+
+/// DFS cycle detection over the type dependency graph (edges: class ->
+/// field type-set members, array -> element type-set members).
+bool HasCycle(const UdtType* t, std::unordered_set<const UdtType*>* on_path,
+              std::unordered_set<const UdtType*>* done) {
+  if (t->is_primitive()) return false;
+  if (done->count(t) != 0) return false;
+  if (!on_path->insert(t).second) return true;
+  bool cycle = false;
+  auto visit_field = [&](const UdtField& f) {
+    for (const UdtType* ft : f.type_set) {
+      if (HasCycle(ft, on_path, done)) cycle = true;
+    }
+  };
+  if (t->is_array()) {
+    visit_field(t->element_field());
+  } else {
+    for (const auto& f : t->fields()) visit_field(f);
+  }
+  on_path->erase(t);
+  done->insert(t);
+  return cycle;
+}
+
+}  // namespace
+
+bool LocalClassifier::IsRecursivelyDefined(const UdtType* t) const {
+  std::unordered_set<const UdtType*> on_path;
+  std::unordered_set<const UdtType*> done;
+  return HasCycle(t, &on_path, &done);
+}
+
+SizeType LocalClassifier::Classify(const UdtType* t) const {
+  // Algorithm 1 lines 1-3: recursively-defined types first.
+  if (IsRecursivelyDefined(t)) return SizeType::kRecurDef;
+  return AnalyzeType(t);
+}
+
+SizeType LocalClassifier::AnalyzeType(const UdtType* t) const {
+  // Algorithm 1, AnalyzeType (lines 4-22).
+  if (t->is_primitive()) return SizeType::kStaticFixed;
+  if (t->is_array()) {
+    // Arrays of static fixed-sized elements are runtime fixed (different
+    // instances have different lengths); anything else is variable.
+    if (AnalyzeField(t->element_field()) == SizeType::kStaticFixed) {
+      return SizeType::kRuntimeFixed;
+    }
+    return SizeType::kVariable;
+  }
+  SizeType result = SizeType::kStaticFixed;
+  for (const auto& f : t->fields()) {
+    SizeType tmp = AnalyzeField(f);
+    if (tmp == SizeType::kVariable) return SizeType::kVariable;
+    if (tmp == SizeType::kRuntimeFixed) result = SizeType::kRuntimeFixed;
+  }
+  return result;
+}
+
+SizeType LocalClassifier::AnalyzeField(const UdtField& f) const {
+  // Algorithm 1, AnalyzeField (lines 23-34).
+  SizeType result = SizeType::kStaticFixed;
+  for (const UdtType* t : f.type_set) {
+    SizeType tmp = AnalyzeType(t);
+    if (tmp == SizeType::kVariable) return SizeType::kVariable;
+    if (tmp == SizeType::kRuntimeFixed) {
+      // A non-final field can be re-pointed at objects with different
+      // data-sizes, so it degrades to variable (Algorithm 1 lines 28-30).
+      if (!f.is_final) return SizeType::kVariable;
+      result = SizeType::kRuntimeFixed;
+    }
+  }
+  return result;
+}
+
+}  // namespace deca::analysis

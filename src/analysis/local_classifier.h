@@ -1,0 +1,29 @@
+#ifndef DECA_ANALYSIS_LOCAL_CLASSIFIER_H_
+#define DECA_ANALYSIS_LOCAL_CLASSIFIER_H_
+
+#include "analysis/size_type.h"
+#include "analysis/udt_type.h"
+
+namespace deca::analysis {
+
+/// The local classification analysis (paper Algorithm 1): determines a
+/// UDT's size-type purely from its type dependency graph, without any code
+/// analysis. Conservative: a non-final field whose type-set contains an
+/// RFST makes the enclosing type a VST, and arrays are at best RFSTs.
+class LocalClassifier {
+ public:
+  /// Returns the size-type of the top-level annotated type `t`.
+  SizeType Classify(const UdtType* t) const;
+
+  /// True if `t`'s type dependency graph contains a cycle (the type is
+  /// recursively defined).
+  bool IsRecursivelyDefined(const UdtType* t) const;
+
+ private:
+  SizeType AnalyzeType(const UdtType* t) const;
+  SizeType AnalyzeField(const UdtField& f) const;
+};
+
+}  // namespace deca::analysis
+
+#endif  // DECA_ANALYSIS_LOCAL_CLASSIFIER_H_

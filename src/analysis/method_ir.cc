@@ -1,0 +1,146 @@
+#include "analysis/method_ir.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace deca::analysis {
+
+void CallGraph::AddMethod(MethodInfo method) {
+  DECA_CHECK(by_name_.count(method.name) == 0)
+      << "duplicate method " << method.name;
+  by_name_[method.name] = methods_.size();
+  methods_.push_back(std::move(method));
+}
+
+void CallGraph::SetEntry(const std::string& name) {
+  DECA_CHECK(by_name_.count(name) != 0) << "unknown entry " << name;
+  entry_ = name;
+}
+
+const MethodInfo* CallGraph::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : &methods_[it->second];
+}
+
+std::vector<const MethodInfo*> CallGraph::ReachableMethods() const {
+  std::vector<const MethodInfo*> result;
+  if (entry_.empty()) return result;
+  std::unordered_set<const MethodInfo*> seen;
+  std::vector<const MethodInfo*> stack{Find(entry_)};
+  seen.insert(stack[0]);
+  while (!stack.empty()) {
+    const MethodInfo* m = stack.back();
+    stack.pop_back();
+    result.push_back(m);
+    for (const auto& s : m->statements) {
+      if (s.kind != Statement::Kind::kCall) continue;
+      const MethodInfo* callee = Find(s.callee);
+      if (callee != nullptr && seen.insert(callee).second) {
+        stack.push_back(callee);
+      }
+    }
+  }
+  return result;
+}
+
+bool CallGraph::IsFixedLengthArray(const UdtType* a, const FieldRef& f) const {
+  bool found_site = false;
+  SymExpr common;
+  for (const MethodInfo* m : ReachableMethods()) {
+    for (const auto& s : m->statements) {
+      if (s.kind != Statement::Kind::kNewArrayAssign) continue;
+      if (s.array_type != a || !(s.target == f)) continue;
+      if (!found_site) {
+        common = s.length;
+        found_site = true;
+      } else if (!common.EquivalentTo(s.length)) {
+        return false;
+      }
+    }
+  }
+  // With no allocation site in scope the lengths are unconstrained by this
+  // scope's code; be conservative.
+  return found_site && !common.is_unknown();
+}
+
+std::vector<const UdtType*> CallGraph::InferTypeSet(const FieldRef& f) const {
+  std::vector<const UdtType*> types;
+  for (const MethodInfo* m : ReachableMethods()) {
+    for (const auto& s : m->statements) {
+      if ((s.kind != Statement::Kind::kNewArrayAssign &&
+           s.kind != Statement::Kind::kNewObjectAssign) ||
+          !(s.target == f) || s.array_type == nullptr) {
+        continue;
+      }
+      if (std::find(types.begin(), types.end(), s.array_type) ==
+          types.end()) {
+        types.push_back(s.array_type);
+      }
+    }
+  }
+  return types;
+}
+
+bool CallGraph::IsInitOnly(const FieldRef& f) const {
+  // Rule 2: array element fields are never init-only.
+  if (f.owner->is_array()) return false;
+  // Rule 1: final fields are init-only.
+  if (!f.owner->is_primitive()) {
+    for (const auto& fd : f.owner->fields()) {
+      if (fd.name == f.field && fd.is_final) return true;
+    }
+  }
+  // Rule 3: assigned only in constructors of the declaring type, and at
+  // most once along any constructor calling sequence.
+  std::vector<const MethodInfo*> ctors;
+  for (const MethodInfo* m : ReachableMethods()) {
+    bool assigns = false;
+    for (const auto& s : m->statements) {
+      if ((s.kind == Statement::Kind::kFieldAssign ||
+           s.kind == Statement::Kind::kNewArrayAssign ||
+           s.kind == Statement::Kind::kNewObjectAssign) &&
+          s.target == f) {
+        assigns = true;
+      }
+    }
+    if (m->ctor_of == f.owner) {
+      ctors.push_back(m);
+    } else if (assigns) {
+      return false;  // assigned outside a constructor
+    }
+  }
+  for (const MethodInfo* c : ctors) {
+    if (AssignmentsInClosure(c, f) > 1) return false;
+  }
+  return true;
+}
+
+int CallGraph::AssignmentsInClosure(const MethodInfo* m,
+                                    const FieldRef& f) const {
+  std::unordered_set<const MethodInfo*> seen{m};
+  std::vector<const MethodInfo*> stack{m};
+  int count = 0;
+  while (!stack.empty()) {
+    const MethodInfo* cur = stack.back();
+    stack.pop_back();
+    for (const auto& s : cur->statements) {
+      if ((s.kind == Statement::Kind::kFieldAssign ||
+           s.kind == Statement::Kind::kNewArrayAssign ||
+           s.kind == Statement::Kind::kNewObjectAssign) &&
+          s.target == f) {
+        ++count;
+      }
+      if (s.kind == Statement::Kind::kCall) {
+        const MethodInfo* callee = Find(s.callee);
+        if (callee != nullptr && seen.insert(callee).second) {
+          stack.push_back(callee);
+        }
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace deca::analysis

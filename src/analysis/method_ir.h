@@ -1,0 +1,103 @@
+#ifndef DECA_ANALYSIS_METHOD_IR_H_
+#define DECA_ANALYSIS_METHOD_IR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/sym_expr.h"
+#include "analysis/udt_type.h"
+
+namespace deca::analysis {
+
+/// A field reference: the declaring class (or array type) plus field name.
+struct FieldRef {
+  const UdtType* owner = nullptr;
+  std::string field;
+
+  bool operator==(const FieldRef& o) const {
+    return owner == o.owner && field == o.field;
+  }
+};
+
+/// One classification-relevant statement in the mini method IR. In the
+/// paper Deca extracts this information from JVM bytecode with Soot; here
+/// workloads declare their UDF/UDT code shape directly in the same terms.
+struct Statement {
+  enum class Kind {
+    /// `ref.field = new A[len]` — array allocation site assigned to a
+    /// field. `array_type` is A, `length` the symbolic length.
+    kNewArrayAssign,
+    /// `ref.field = <expr>` — any other assignment to the field.
+    kFieldAssign,
+    /// `ref.field = new T(...)` — object allocation site assigned to a
+    /// field (consumed by the points-to type-set inference).
+    kNewObjectAssign,
+    /// Invocation of another method in the analysis scope.
+    kCall,
+  };
+
+  Kind kind;
+  FieldRef target;                     // assignments
+  const UdtType* array_type = nullptr; // kNewArrayAssign / kNewObjectAssign:
+                                       // the allocated runtime type
+  SymExpr length;                      // kNewArrayAssign
+  std::string callee;                  // kCall
+};
+
+/// A method in the analysis scope: UDF, UDT method or constructor.
+struct MethodInfo {
+  std::string name;
+  /// Set when the method is a constructor of `ctor_of`.
+  const UdtType* ctor_of = nullptr;
+  std::vector<Statement> statements;
+};
+
+/// The call graph of one analysis scope (a job stage, or a single phase
+/// for phased refinement). The entry node is the scope's main method; only
+/// methods reachable from it are consulted by the global classifier.
+class CallGraph {
+ public:
+  /// Adds a method; names must be unique.
+  void AddMethod(MethodInfo method);
+
+  /// Sets the entry method (must have been added).
+  void SetEntry(const std::string& name);
+
+  /// Methods reachable from the entry (in discovery order).
+  std::vector<const MethodInfo*> ReachableMethods() const;
+
+  const MethodInfo* Find(const std::string& name) const;
+
+  // -- classification queries (paper Section 3.3) --------------------------
+
+  /// True when array type `a` is fixed-length w.r.t. field `f`: there is at
+  /// least one allocation site of `a` assigned to `f` in the reachable
+  /// methods, and all such sites have provably equal symbolic lengths.
+  bool IsFixedLengthArray(const UdtType* a, const FieldRef& f) const;
+
+  /// True when `f` is init-only: (1) final fields are init-only; (2) array
+  /// element fields never are; (3) otherwise the field must be assigned
+  /// only inside constructors of its declaring type, at most once along
+  /// any constructor calling sequence.
+  bool IsInitOnly(const FieldRef& f) const;
+
+  /// Points-to-style type-set inference (the paper's pre-processing
+  /// phase, built with Soot): the set of runtime types allocated and
+  /// assigned to `f` anywhere in the reachable methods. An empty result
+  /// means no allocation site was observed (the field's declared type-set
+  /// must be used instead).
+  std::vector<const UdtType*> InferTypeSet(const FieldRef& f) const;
+
+ private:
+  /// Total number of assignments to `f` along the call closure of `m`.
+  int AssignmentsInClosure(const MethodInfo* m, const FieldRef& f) const;
+
+  std::vector<MethodInfo> methods_;
+  std::unordered_map<std::string, size_t> by_name_;
+  std::string entry_;
+};
+
+}  // namespace deca::analysis
+
+#endif  // DECA_ANALYSIS_METHOD_IR_H_

@@ -1,0 +1,26 @@
+#ifndef DECA_ANALYSIS_SIZE_TYPE_H_
+#define DECA_ANALYSIS_SIZE_TYPE_H_
+
+namespace deca::analysis {
+
+/// The size-type lattice of paper Section 3.1, totally ordered by
+/// variability: SFST < RFST < VST. Recursively-defined types are outside
+/// the order and never decomposable.
+enum class SizeType {
+  kStaticFixed,   // SFST: all instances have one identical, constant size
+  kRuntimeFixed,  // RFST: each instance's size is fixed once constructed
+  kVariable,      // VST: size may change after construction
+  kRecurDef,      // type-dependency cycle; cannot be decomposed
+};
+
+const char* SizeTypeName(SizeType s);
+
+/// True when objects of this size-type may be decomposed into byte
+/// sequences (paper Section 3.1: SFST or RFST).
+inline bool IsDecomposable(SizeType s) {
+  return s == SizeType::kStaticFixed || s == SizeType::kRuntimeFixed;
+}
+
+}  // namespace deca::analysis
+
+#endif  // DECA_ANALYSIS_SIZE_TYPE_H_

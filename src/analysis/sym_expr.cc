@@ -1,0 +1,60 @@
+#include "analysis/sym_expr.h"
+
+#include <sstream>
+
+namespace deca::analysis {
+
+SymExpr SymExpr::Constant(int64_t value) {
+  SymExpr e;
+  e.unknown_ = false;
+  e.constant_ = value;
+  return e;
+}
+
+SymExpr SymExpr::Symbol(uint32_t id) {
+  SymExpr e;
+  e.unknown_ = false;
+  e.coeffs_[id] = 1;
+  return e;
+}
+
+SymExpr SymExpr::operator+(const SymExpr& other) const {
+  if (unknown_ || other.unknown_) return Unknown();
+  SymExpr r = *this;
+  r.constant_ += other.constant_;
+  for (const auto& [id, c] : other.coeffs_) {
+    int64_t v = (r.coeffs_[id] += c);
+    if (v == 0) r.coeffs_.erase(id);
+  }
+  return r;
+}
+
+SymExpr SymExpr::operator-(const SymExpr& other) const {
+  return *this + (other * -1);
+}
+
+SymExpr SymExpr::operator*(int64_t k) const {
+  if (unknown_) return Unknown();
+  if (k == 0) return Constant(0);
+  SymExpr r = *this;
+  r.constant_ *= k;
+  for (auto& [id, c] : r.coeffs_) c *= k;
+  return r;
+}
+
+bool SymExpr::EquivalentTo(const SymExpr& other) const {
+  if (unknown_ || other.unknown_) return false;
+  return constant_ == other.constant_ && coeffs_ == other.coeffs_;
+}
+
+std::string SymExpr::ToString() const {
+  if (unknown_) return "?";
+  std::ostringstream os;
+  os << constant_;
+  for (const auto& [id, c] : coeffs_) {
+    os << (c >= 0 ? "+" : "") << c << "*S" << id;
+  }
+  return os.str();
+}
+
+}  // namespace deca::analysis

@@ -1,0 +1,49 @@
+#ifndef DECA_ANALYSIS_SYM_EXPR_H_
+#define DECA_ANALYSIS_SYM_EXPR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace deca::analysis {
+
+/// A symbolic integer expression used by the global classifier's
+/// symbolized constant propagation (paper Figure 4): values read from the
+/// program's input or returned by I/O are represented by opaque symbols,
+/// and arithmetic over them is kept in the canonical affine form
+/// `c0 + sum(ci * sym_i)`. Two array allocation sites have provably equal
+/// lengths iff their SymExprs are equal.
+class SymExpr {
+ public:
+  /// The unknown/non-affine expression (top of the lattice): never equal
+  /// to anything, including itself.
+  SymExpr() : unknown_(true) {}
+
+  static SymExpr Constant(int64_t value);
+  static SymExpr Symbol(uint32_t id);
+  static SymExpr Unknown() { return SymExpr(); }
+
+  bool is_unknown() const { return unknown_; }
+  bool IsConstant() const { return !unknown_ && coeffs_.empty(); }
+  /// Only valid when IsConstant().
+  int64_t ConstantValue() const { return constant_; }
+
+  SymExpr operator+(const SymExpr& other) const;
+  SymExpr operator-(const SymExpr& other) const;
+  /// Scaling by a compile-time constant.
+  SymExpr operator*(int64_t k) const;
+
+  /// Provable equality: both known and identical in canonical form.
+  bool EquivalentTo(const SymExpr& other) const;
+
+  std::string ToString() const;
+
+ private:
+  bool unknown_ = false;
+  int64_t constant_ = 0;
+  std::map<uint32_t, int64_t> coeffs_;  // symbol id -> coefficient
+};
+
+}  // namespace deca::analysis
+
+#endif  // DECA_ANALYSIS_SYM_EXPR_H_

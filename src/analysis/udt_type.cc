@@ -1,0 +1,66 @@
+#include "analysis/udt_type.h"
+
+#include "common/logging.h"
+
+namespace deca::analysis {
+
+const UdtField& UdtType::field(const std::string& fname) const {
+  for (const auto& f : fields_) {
+    if (f.name == fname) return f;
+  }
+  DECA_LOG(Fatal) << "type " << name_ << " has no field " << fname;
+  return fields_[0];
+}
+
+TypeUniverse::TypeUniverse() = default;
+
+const UdtType* TypeUniverse::Primitive(jvm::FieldKind kind) {
+  size_t idx = static_cast<size_t>(kind);
+  if (primitives_[idx] == nullptr) {
+    auto t = std::make_unique<UdtType>();
+    t->kind_ = UdtType::Kind::kPrimitive;
+    t->primitive_kind_ = kind;
+    t->name_ = jvm::FieldKindName(kind);
+    primitives_[idx] = t.get();
+    types_.push_back(std::move(t));
+  }
+  return primitives_[idx];
+}
+
+const UdtType* TypeUniverse::DefineArray(
+    const std::string& name, std::vector<const UdtType*> elem_types) {
+  auto t = std::make_unique<UdtType>();
+  t->kind_ = UdtType::Kind::kArray;
+  t->name_ = name;
+  // Array element fields are never final / init-only (paper footnote 1).
+  t->element_field_ = {"<elem>", /*is_final=*/false, std::move(elem_types)};
+  const UdtType* p = t.get();
+  types_.push_back(std::move(t));
+  return p;
+}
+
+UdtType* TypeUniverse::DefineClass(const std::string& name) {
+  auto t = std::make_unique<UdtType>();
+  t->kind_ = UdtType::Kind::kClass;
+  t->name_ = name;
+  UdtType* p = t.get();
+  types_.push_back(std::move(t));
+  return p;
+}
+
+void TypeUniverse::AddField(UdtType* cls, const std::string& fname,
+                            bool is_final,
+                            std::vector<const UdtType*> type_set) {
+  DECA_CHECK(cls->kind_ == UdtType::Kind::kClass);
+  DECA_CHECK(!type_set.empty()) << "field " << fname << " has empty type-set";
+  cls->fields_.push_back({fname, is_final, std::move(type_set)});
+}
+
+const UdtType* TypeUniverse::Find(const std::string& name) const {
+  for (const auto& t : types_) {
+    if (t->name() == name) return t.get();
+  }
+  return nullptr;
+}
+
+}  // namespace deca::analysis

@@ -1,0 +1,86 @@
+#ifndef DECA_ANALYSIS_UDT_TYPE_H_
+#define DECA_ANALYSIS_UDT_TYPE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "jvm/object_model.h"
+
+namespace deca::analysis {
+
+class UdtType;
+
+/// One declared field of an annotated UDT. `type_set` is the set of
+/// possible *runtime* types of the objects this field can reference,
+/// obtained in the paper by points-to analysis; here it is declared by the
+/// workload's type model. Primitive fields have a single primitive type in
+/// their set.
+struct UdtField {
+  std::string name;
+  bool is_final = false;
+  std::vector<const UdtType*> type_set;
+};
+
+/// An annotated type: the input to the classification analyses (paper
+/// Section 3). Exactly one of the three kinds:
+///  - primitive: a fixed-size scalar;
+///  - array: a length plus an element field whose type_set lists the
+///    possible element types;
+///  - class: a list of named fields.
+class UdtType {
+ public:
+  enum class Kind { kPrimitive, kArray, kClass };
+
+  Kind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+  jvm::FieldKind primitive_kind() const { return primitive_kind_; }
+  bool is_primitive() const { return kind_ == Kind::kPrimitive; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Array element pseudo-field (paper: "we treat each array type as
+  /// having a length field and an element field").
+  const UdtField& element_field() const { return element_field_; }
+
+  const std::vector<UdtField>& fields() const { return fields_; }
+  const UdtField& field(const std::string& fname) const;
+
+ private:
+  friend class TypeUniverse;
+  Kind kind_ = Kind::kClass;
+  std::string name_;
+  jvm::FieldKind primitive_kind_ = jvm::FieldKind::kInt;
+  UdtField element_field_;
+  std::vector<UdtField> fields_;
+};
+
+/// Owns and interns UdtType nodes for one analysis run.
+class TypeUniverse {
+ public:
+  TypeUniverse();
+
+  /// Returns the interned primitive type for `kind`.
+  const UdtType* Primitive(jvm::FieldKind kind);
+
+  /// Defines an array type whose elements may be any type in `elem_types`.
+  const UdtType* DefineArray(const std::string& name,
+                             std::vector<const UdtType*> elem_types);
+
+  /// Defines a class type. Use AddField to populate (two-phase so that
+  /// recursive types can be expressed).
+  UdtType* DefineClass(const std::string& name);
+
+  /// Appends a field to a class previously created with DefineClass.
+  void AddField(UdtType* cls, const std::string& fname, bool is_final,
+                std::vector<const UdtType*> type_set);
+
+  const UdtType* Find(const std::string& name) const;
+
+ private:
+  std::vector<std::unique_ptr<UdtType>> types_;
+  const UdtType* primitives_[9] = {nullptr};
+};
+
+}  // namespace deca::analysis
+
+#endif  // DECA_ANALYSIS_UDT_TYPE_H_

@@ -1,0 +1,90 @@
+#ifndef DECA_COMMON_BYTES_H_
+#define DECA_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace deca {
+
+/// Unaligned little-endian store of a trivially copyable value.
+template <typename T>
+inline void StoreRaw(uint8_t* dst, T value) {
+  std::memcpy(dst, &value, sizeof(T));
+}
+
+/// Unaligned little-endian load of a trivially copyable value.
+template <typename T>
+inline T LoadRaw(const uint8_t* src) {
+  T value;
+  std::memcpy(&value, src, sizeof(T));
+  return value;
+}
+
+/// Growable byte sink used by the Kryo-like serializer and spill files.
+/// Writes are appended; varints use LEB128.
+class ByteWriter {
+ public:
+  void Clear() { buf_.clear(); }
+
+  template <typename T>
+  void Write(T value) {
+    size_t old = buf_.size();
+    buf_.resize(old + sizeof(T));
+    StoreRaw(buf_.data() + old, value);
+  }
+
+  void WriteVarU64(uint64_t v);
+  /// Zig-zag encoded signed varint.
+  void WriteVarI64(int64_t v);
+  void WriteBytes(const uint8_t* data, size_t n);
+  void WriteString(const std::string& s);
+
+  const uint8_t* data() const { return buf_.data(); }
+  size_t size() const { return buf_.size(); }
+  std::vector<uint8_t> TakeBuffer() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Sequential reader over a byte span; the mirror of ByteWriter.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size)
+      : data_(data), size_(size), pos_(0) {}
+
+  template <typename T>
+  T Read() {
+    T v = LoadRaw<T>(data_ + pos_);
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  uint64_t ReadVarU64();
+  int64_t ReadVarI64();
+  void ReadBytes(uint8_t* out, size_t n);
+  std::string ReadString();
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ >= size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_;
+};
+
+/// Rounds `n` up to the next multiple of `align` (a power of two).
+constexpr inline uint64_t AlignUp(uint64_t n, uint64_t align) {
+  return (n + align - 1) & ~(align - 1);
+}
+
+/// Renders a byte count as a human-readable string ("1.5MB").
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace deca
+
+#endif  // DECA_COMMON_BYTES_H_

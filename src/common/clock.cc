@@ -1,0 +1,41 @@
+#include "common/clock.h"
+
+namespace deca {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Stopwatch::Stopwatch() { Restart(); }
+
+void Stopwatch::Restart() {
+  accumulated_ = 0;
+  started_at_ = NowNanos();
+  running_ = true;
+}
+
+void Stopwatch::Stop() {
+  if (!running_) return;
+  accumulated_ += NowNanos() - started_at_;
+  running_ = false;
+}
+
+void Stopwatch::Start() {
+  if (running_) return;
+  started_at_ = NowNanos();
+  running_ = true;
+}
+
+int64_t Stopwatch::ElapsedNanos() const {
+  int64_t total = accumulated_;
+  if (running_) total += NowNanos() - started_at_;
+  return total;
+}
+
+double Stopwatch::ElapsedMillis() const {
+  return static_cast<double>(ElapsedNanos()) / 1e6;
+}
+
+}  // namespace deca

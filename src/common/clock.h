@@ -1,0 +1,56 @@
+#ifndef DECA_COMMON_CLOCK_H_
+#define DECA_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace deca {
+
+/// Returns a monotonic timestamp in nanoseconds.
+int64_t NowNanos();
+
+/// Wall-clock stopwatch over the monotonic clock. Supports pause/resume so
+/// callers can exclude sections (e.g. GC pauses) from a measurement.
+class Stopwatch {
+ public:
+  Stopwatch();
+
+  /// Resets the accumulated time and restarts.
+  void Restart();
+
+  /// Stops accumulating. No-op if already stopped.
+  void Stop();
+
+  /// Resumes accumulating. No-op if already running.
+  void Start();
+
+  /// Elapsed time in nanoseconds (includes the in-flight interval).
+  int64_t ElapsedNanos() const;
+
+  /// Elapsed time in milliseconds as a double.
+  double ElapsedMillis() const;
+
+ private:
+  int64_t accumulated_ = 0;
+  int64_t started_at_ = 0;
+  bool running_ = false;
+};
+
+/// Adds the scope's wall-clock duration (in milliseconds) to `*sink` on
+/// destruction. Used by the engine to attribute time to metric buckets.
+class ScopedTimerMs {
+ public:
+  explicit ScopedTimerMs(double* sink) : sink_(sink), start_(NowNanos()) {}
+  ~ScopedTimerMs() { *sink_ += static_cast<double>(NowNanos() - start_) / 1e6; }
+
+  ScopedTimerMs(const ScopedTimerMs&) = delete;
+  ScopedTimerMs& operator=(const ScopedTimerMs&) = delete;
+
+ private:
+  double* sink_;
+  int64_t start_;
+};
+
+}  // namespace deca
+
+#endif  // DECA_COMMON_CLOCK_H_

@@ -1,0 +1,34 @@
+#ifndef DECA_COMMON_TABLE_PRINTER_H_
+#define DECA_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace deca {
+
+/// Renders aligned plain-text tables; every benchmark harness uses this to
+/// print the rows/series the paper's tables and figures report.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a data row; must have the same arity as the header row.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with column separators and a header rule.
+  std::string ToString() const;
+
+  /// Convenience: renders and writes to stdout.
+  void Print() const;
+
+  /// Formats a double with `digits` decimals.
+  static std::string Num(double v, int digits = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace deca
+
+#endif  // DECA_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,50 @@
+#include "core/page.h"
+
+namespace deca::core {
+
+PageGroup::PageGroup(jvm::Heap* heap, uint32_t page_bytes)
+    : heap_(heap), page_bytes_(page_bytes) {
+  DECA_CHECK_GT(page_bytes, 0u);
+  heap_->AddRootProvider(&pages_);
+}
+
+PageGroup::~PageGroup() { heap_->RemoveRootProvider(&pages_); }
+
+SegPtr PageGroup::Append(uint32_t bytes) {
+  DECA_CHECK_LE(bytes, page_bytes_)
+      << "record larger than the Deca page size";
+  if (used_.empty() || used_.back() + bytes > page_bytes_) {
+    // Pages are large objects: allocated directly in the old generation,
+    // where they stay for the lifetime of their container.
+    jvm::ObjRef page =
+        heap_->AllocateArray(heap_->registry()->byte_array_class(),
+                             page_bytes_);
+    pages_.refs().push_back(page);
+    used_.push_back(0);
+  }
+  uint32_t page_idx = static_cast<uint32_t>(used_.size() - 1);
+  SegPtr seg{page_idx, used_.back()};
+  used_.back() += bytes;
+  ++segment_count_;
+  return seg;
+}
+
+uint64_t PageGroup::used_bytes() const {
+  uint64_t total = 0;
+  for (uint32_t u : used_) total += u;
+  return total;
+}
+
+uint64_t PageGroup::footprint_bytes() const {
+  return static_cast<uint64_t>(page_count()) *
+         (page_bytes_ + jvm::kHeaderBytes);
+}
+
+void PageGroup::Clear() {
+  pages_.refs().clear();
+  used_.clear();
+  segment_count_ = 0;
+  dep_groups_.clear();
+}
+
+}  // namespace deca::core

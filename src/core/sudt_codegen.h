@@ -1,0 +1,25 @@
+#ifndef DECA_CORE_SUDT_CODEGEN_H_
+#define DECA_CORE_SUDT_CODEGEN_H_
+
+#include <string>
+
+#include "core/sudt_layout.h"
+
+namespace deca::core {
+
+/// Emits C++ source text for an accessor view over a decomposed record —
+/// the analogue of the paper's SUDT synthesis (Appendix B), where Deca
+/// generates bytecode whose field accesses become byte-array reads at
+/// precomputed offsets. Here the generated artifact is a header snippet
+/// with one constexpr offset per leaf and inline typed getters/setters;
+/// fields with determinable sizes come first so their offsets are
+/// compile-time constants, and variable-length arrays are reached through
+/// runtime offset computation, exactly as Appendix B describes.
+///
+/// `view_name` names the generated struct (e.g. "LabeledPointView").
+std::string GenerateSudtAccessor(const std::string& view_name,
+                                 const SudtLayout& layout);
+
+}  // namespace deca::core
+
+#endif  // DECA_CORE_SUDT_CODEGEN_H_

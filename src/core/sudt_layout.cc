@@ -1,0 +1,107 @@
+#include "core/sudt_layout.h"
+
+#include "common/bytes.h"
+#include "common/logging.h"
+
+namespace deca::core {
+
+using analysis::UdtField;
+using analysis::UdtType;
+
+void LengthResolver::SetFixedLength(const UdtType* owner,
+                                    const std::string& field,
+                                    uint32_t length) {
+  lengths_[{owner, field}] = length;
+}
+
+std::optional<uint32_t> LengthResolver::Lookup(const UdtType* owner,
+                                               const std::string& field) const {
+  auto it = lengths_.find({owner, field});
+  if (it == lengths_.end()) return std::nullopt;
+  return it->second;
+}
+
+namespace {
+
+void Flatten(const UdtType* t, const std::string& prefix,
+             const LengthResolver& lengths,
+             const std::set<std::string>& elided,
+             std::vector<SudtField>* fixed,
+             std::vector<SudtField>* variable) {
+  DECA_CHECK(!t->is_primitive());
+  DECA_CHECK(!t->is_array()) << "top-level arrays flatten via their field";
+  for (const UdtField& f : t->fields()) {
+    DECA_CHECK_EQ(f.type_set.size(), 1u)
+        << "cannot decompose polymorphic field " << t->name() << "."
+        << f.name;
+    const UdtType* ft = f.type_set[0];
+    std::string path = prefix.empty() ? f.name : prefix + "." + f.name;
+    if (elided.count(path) != 0) continue;
+    if (ft->is_primitive()) {
+      fixed->push_back({path, ft->primitive_kind(), 0, 1, false});
+    } else if (ft->is_array()) {
+      DECA_CHECK_EQ(ft->element_field().type_set.size(), 1u);
+      const UdtType* et = ft->element_field().type_set[0];
+      DECA_CHECK(et->is_primitive())
+          << "decomposition supports primitive array elements; " << path
+          << " has " << et->name();
+      if (auto len = lengths.Lookup(t, f.name)) {
+        fixed->push_back({path, et->primitive_kind(), 0, *len, false});
+      } else {
+        variable->push_back({path, et->primitive_kind(), 0, 0, true});
+      }
+    } else {
+      // Nested object: its header and the reference are discarded; its
+      // primitive leaves are inlined (paper Figure 2).
+      Flatten(ft, path, lengths, elided, fixed, variable);
+    }
+  }
+}
+
+}  // namespace
+
+SudtLayout SudtLayout::Build(const UdtType* t, const LengthResolver& lengths,
+                             const std::set<std::string>& elided_paths) {
+  SudtLayout layout;
+  Flatten(t, "", lengths, elided_paths, &layout.fixed_fields_,
+          &layout.variable_fields_);
+  // Assign fixed-part offsets with natural (packed) layout: the paper's
+  // reordering already happened by construction (fixed leaves collected
+  // separately from variable ones).
+  uint32_t offset = 0;
+  for (auto& f : layout.fixed_fields_) {
+    f.offset = offset;
+    offset += jvm::FieldKindBytes(f.kind) * f.count;
+  }
+  layout.fixed_bytes_ = offset;
+  return layout;
+}
+
+uint32_t SudtLayout::static_size() const {
+  DECA_CHECK(variable_fields_.empty())
+      << "static_size on a layout with variable-length fields";
+  return fixed_bytes_;
+}
+
+uint32_t SudtLayout::RuntimeSize(
+    const std::vector<uint32_t>& var_lengths) const {
+  DECA_CHECK_EQ(var_lengths.size(), variable_fields_.size());
+  uint32_t size = fixed_bytes_;
+  for (size_t i = 0; i < variable_fields_.size(); ++i) {
+    size += 4 + var_lengths[i] * jvm::FieldKindBytes(variable_fields_[i].kind);
+  }
+  return size;
+}
+
+const SudtField& SudtLayout::field(const std::string& path) const {
+  for (const auto& f : fixed_fields_) {
+    if (f.path == path) return f;
+  }
+  for (const auto& f : variable_fields_) {
+    if (f.path == path) return f;
+  }
+  DECA_LOG(Fatal) << "layout has no field " << path;
+  return fixed_fields_[0];
+}
+
+}  // namespace deca::core

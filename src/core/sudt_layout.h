@@ -1,0 +1,95 @@
+#ifndef DECA_CORE_SUDT_LAYOUT_H_
+#define DECA_CORE_SUDT_LAYOUT_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/udt_type.h"
+#include "jvm/object_model.h"
+
+namespace deca::core {
+
+/// Fixed array lengths established by the global classifier's
+/// fixed-length-array analysis (e.g. "DenseVector.data always has length
+/// D"). Consulted when synthesizing SFST layouts.
+class LengthResolver {
+ public:
+  void SetFixedLength(const analysis::UdtType* owner,
+                      const std::string& field, uint32_t length);
+
+  std::optional<uint32_t> Lookup(const analysis::UdtType* owner,
+                                 const std::string& field) const;
+
+ private:
+  std::map<std::pair<const analysis::UdtType*, std::string>, uint32_t>
+      lengths_;
+};
+
+/// One leaf of a decomposed object layout.
+struct SudtField {
+  /// Dotted access path from the top-level object, e.g. "features.data".
+  std::string path;
+  /// Primitive kind of the leaf values.
+  jvm::FieldKind kind;
+  /// Byte offset within the record's fixed part (meaningless for
+  /// variable-length fields, which live after the fixed part in layout
+  /// order).
+  uint32_t offset = 0;
+  /// Number of values: 1 for scalars, N for fixed-length arrays.
+  uint32_t count = 1;
+  /// True for arrays whose length is per-instance (RFST): stored inline as
+  /// a u32 length prefix followed by the elements.
+  bool variable_length = false;
+};
+
+/// The synthesized byte-sequence layout of a decomposable UDT — the C++
+/// analogue of the paper's SUDT offset computation (Appendix B). Reference
+/// fields and object headers are discarded; primitive leaves are laid out
+/// with determinable-size fields reordered to the front so their offsets
+/// are compile-time constants, followed by the variable-length arrays.
+class SudtLayout {
+ public:
+  /// Flattens `t`. `t` must be decomposable (SFST/RFST — the caller runs
+  /// the classifier first). Every reference field must have a singleton
+  /// type-set, and array elements must be primitive. `elided_paths` lists
+  /// leaves whose values the optimizer proved to be compile-time constants
+  /// (e.g. DenseVector's offset/stride/length after constant propagation,
+  /// paper Appendix B); they are dropped from the byte layout, as in the
+  /// paper's Figure 2.
+  static SudtLayout Build(const analysis::UdtType* t,
+                          const LengthResolver& lengths,
+                          const std::set<std::string>& elided_paths = {});
+
+  /// Size of the fixed part (all reordered fixed-size leaves).
+  uint32_t fixed_bytes() const { return fixed_bytes_; }
+
+  bool has_variable_part() const { return !variable_fields_.empty(); }
+
+  /// Total record size for SFSTs (aborts if a variable part exists).
+  uint32_t static_size() const;
+
+  /// Record size given the runtime lengths of the variable arrays (in
+  /// layout order).
+  uint32_t RuntimeSize(const std::vector<uint32_t>& var_lengths) const;
+
+  const std::vector<SudtField>& fixed_fields() const { return fixed_fields_; }
+  const std::vector<SudtField>& variable_fields() const {
+    return variable_fields_;
+  }
+
+  /// Looks a leaf up by path (searches both parts); aborts if missing.
+  const SudtField& field(const std::string& path) const;
+
+ private:
+  std::vector<SudtField> fixed_fields_;
+  std::vector<SudtField> variable_fields_;
+  uint32_t fixed_bytes_ = 0;
+};
+
+}  // namespace deca::core
+
+#endif  // DECA_CORE_SUDT_LAYOUT_H_

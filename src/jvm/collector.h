@@ -1,0 +1,67 @@
+#ifndef DECA_JVM_COLLECTOR_H_
+#define DECA_JVM_COLLECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "jvm/object_model.h"
+
+namespace deca::jvm {
+
+class Heap;
+
+/// Strategy interface implemented by the three collectors. A collector owns
+/// the heap's space layout, the allocation fast path, the old-to-young
+/// remembered set, and the collection algorithms. All methods run on the
+/// heap's single mutator thread (collections are stop-the-world).
+class Collector {
+ public:
+  virtual ~Collector() = default;
+
+  /// Returns storage for an object of `bytes` total size (header included,
+  /// 8-byte aligned), running collections as needed. `large` objects go
+  /// directly to the old generation / humongous regions. Returns nullptr
+  /// when the heap cannot satisfy the request even after a full collection.
+  virtual uint8_t* AllocateRaw(size_t bytes, bool large) = 0;
+
+  /// Forces a young collection (no-op if the young gen is empty).
+  virtual void CollectMinor() = 0;
+
+  /// Forces a full (major/mixed) collection.
+  virtual void CollectFull() = 0;
+
+  /// Post-store hook: records `holder` in the remembered set when it may
+  /// now hold an old-to-young reference.
+  virtual void WriteBarrier(ObjRef holder, ObjRef value) = 0;
+
+  /// True if `obj` lies in the young generation (used by tests/profiling).
+  virtual bool IsYoung(ObjRef obj) const = 0;
+
+  /// Bytes currently occupied by (live or not-yet-reclaimed) objects.
+  virtual size_t used_bytes() const = 0;
+  /// Bytes occupied in the old generation.
+  virtual size_t old_used_bytes() const = 0;
+  /// Total collectable capacity.
+  virtual size_t capacity_bytes() const = 0;
+
+  /// Walks every currently allocated object in address order (including
+  /// unreachable ones not yet collected, matching what a heap profiler
+  /// attached to a JVM reports). Free-space filler chunks are skipped.
+  virtual void ForEachObject(const std::function<void(ObjRef)>& fn) const = 0;
+
+  /// Returns (and clears) whether the most recent AllocateRaw granted
+  /// 8 bytes of trailing slack (free-list allocators only); the heap
+  /// records this in the object header to keep the space parsable.
+  virtual bool TakeAllocSlack() { return false; }
+
+  virtual const char* name() const = 0;
+
+  /// Collector-specific state dump for OOM diagnostics.
+  virtual std::string DebugString() const { return ""; }
+};
+
+}  // namespace deca::jvm
+
+#endif  // DECA_JVM_COLLECTOR_H_

@@ -1,0 +1,131 @@
+#ifndef DECA_JVM_G1_COLLECTOR_H_
+#define DECA_JVM_G1_COLLECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "jvm/collector.h"
+#include "jvm/heap_config.h"
+
+namespace deca::jvm {
+
+class Heap;
+
+/// Simplified G1: the heap is split into fixed-size regions typed
+/// free/eden/survivor/old/humongous. Young collections evacuate all young
+/// regions (object-level remembered set for old-to-young references, as in
+/// the generational collectors). When old occupancy crosses the IHOP
+/// threshold, a marking cycle runs (charged mostly as concurrent work),
+/// wholly dead old/humongous regions are freed in place, and low-liveness
+/// old regions are evacuated in a mixed collection that linearly scans the
+/// marked old objects to fix incoming references.
+class G1Collector : public Collector {
+ public:
+  G1Collector(Heap* heap, const HeapConfig& config);
+
+  uint8_t* AllocateRaw(size_t bytes, bool large) override;
+  void CollectMinor() override;
+  void CollectFull() override;
+  void WriteBarrier(ObjRef holder, ObjRef value) override;
+  bool IsYoung(ObjRef obj) const override;
+
+  size_t used_bytes() const override;
+  size_t old_used_bytes() const override;
+  size_t capacity_bytes() const override;
+  void ForEachObject(const std::function<void(ObjRef)>& fn) const override;
+  const char* name() const override { return "G1"; }
+  std::string DebugString() const override;
+
+  // Introspection for tests.
+  size_t region_bytes() const { return region_bytes_; }
+  size_t num_regions() const { return regions_.size(); }
+  size_t free_region_count() const;
+  size_t young_region_count() const {
+    return eden_regions_.size() + survivor_regions_.size();
+  }
+
+ private:
+  enum class RegionType : uint8_t {
+    kFree,
+    kEden,
+    kSurvivor,
+    kOld,
+    kHumStart,
+    kHumCont,
+  };
+
+  struct Region {
+    RegionType type = RegionType::kFree;
+    uint8_t* top = nullptr;     // allocation top within the region
+    size_t live_bytes = 0;      // from the most recent marking
+    bool in_cset = false;       // member of the current collection set
+    bool evac_failed = false;   // an object could not be evacuated
+  };
+
+  struct EvacTargets {
+    int survivor_region = -1;  // region currently receiving survivors
+    std::vector<size_t> new_survivors;  // survivor regions created this GC
+  };
+
+  uint8_t* RegionBegin(size_t idx) const {
+    return region_base_ + idx * region_bytes_;
+  }
+  uint8_t* RegionEnd(size_t idx) const { return RegionBegin(idx + 1); }
+  size_t RegionIndexOf(const uint8_t* p) const {
+    return static_cast<size_t>(p - region_base_) / region_bytes_;
+  }
+  Region& RegionOf(const uint8_t* p) { return regions_[RegionIndexOf(p)]; }
+  const Region& RegionOf(const uint8_t* p) const {
+    return regions_[RegionIndexOf(p)];
+  }
+
+  /// Pops a free region and retypes it; returns -1 when none remain.
+  int TakeFreeRegion(RegionType type);
+  void FreeRegion(size_t idx);
+
+  /// Bump-allocates in the region, or returns nullptr when full.
+  uint8_t* BumpIn(int region_idx, size_t bytes);
+
+  uint8_t* AllocateSmall(size_t bytes);
+  uint8_t* AllocateOldDirect(size_t bytes);
+  uint8_t* AllocateHumongous(size_t bytes);
+
+  /// Evacuates every region flagged in_cset (all young regions, plus old
+  /// victims during mixed collections). Aborts on evacuation failure
+  /// (no free target regions), which the promotion guarantees prevent.
+  void EvacuateCollectionSet(bool is_mixed);
+
+  size_t young_used_bytes() const;
+
+  void YoungGc();
+  /// Marking + dead-region reclamation + optional old evacuation.
+  /// `aggressive` selects every non-full old region as a candidate (used as
+  /// the full-GC fallback).
+  void MixedGc(bool aggressive);
+
+  bool ShouldStartMixed() const;
+
+  void EvacuateSlot(ObjRef* slot, EvacTargets* t);
+  void ScanObject(ObjRef owner, EvacTargets* t);
+
+  void WalkRegion(size_t idx, const std::function<void(ObjRef)>& fn) const;
+
+  Heap* heap_;
+  HeapConfig cfg_;
+  size_t region_bytes_ = 0;
+  uint8_t* region_base_ = nullptr;
+  std::vector<Region> regions_;
+  std::vector<size_t> eden_regions_;
+  std::vector<size_t> survivor_regions_;
+  int cur_eden_ = -1;
+  int cur_old_ = -1;                        // mutator-time old allocation
+  size_t max_young_regions_ = 0;
+  std::vector<ObjRef> remset_;
+  std::vector<ObjRef> worklist_;
+  std::vector<ObjRef> mark_stack_;
+  int mixed_backoff_ = 0;                   // young GCs to skip mixed checks
+};
+
+}  // namespace deca::jvm
+
+#endif  // DECA_JVM_G1_COLLECTOR_H_

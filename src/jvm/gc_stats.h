@@ -1,0 +1,32 @@
+#ifndef DECA_JVM_GC_STATS_H_
+#define DECA_JVM_GC_STATS_H_
+
+#include <cstdint>
+
+namespace deca::jvm {
+
+/// Cumulative garbage-collection counters for one heap. Pause times are
+/// real measured CPU time spent doing the collection work; `concurrent_ms`
+/// is mark/sweep work a concurrent collector would run on spare cores.
+struct GcStats {
+  uint64_t minor_count = 0;
+  uint64_t full_count = 0;        // full / major / mixed collections
+  double minor_pause_ms = 0.0;
+  double full_pause_ms = 0.0;
+  double concurrent_ms = 0.0;
+
+  uint64_t objects_traced = 0;    // objects visited by marking/evacuation
+  uint64_t bytes_copied = 0;      // bytes moved by copying/compaction
+  uint64_t objects_promoted = 0;  // young objects tenured into old gen
+
+  uint64_t objects_allocated = 0;
+  uint64_t bytes_allocated = 0;
+
+  /// Total stop-the-world GC time; this is the "gc" column of the paper's
+  /// tables.
+  double TotalPauseMs() const { return minor_pause_ms + full_pause_ms; }
+};
+
+}  // namespace deca::jvm
+
+#endif  // DECA_JVM_GC_STATS_H_

@@ -1,0 +1,165 @@
+#include "jvm/heap.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_set>
+
+#include "jvm/g1_collector.h"
+#include "jvm/gen_collector.h"
+
+namespace deca::jvm {
+
+const char* GcAlgorithmName(GcAlgorithm a) {
+  switch (a) {
+    case GcAlgorithm::kParallelScavenge:
+      return "PS";
+    case GcAlgorithm::kConcurrentMarkSweep:
+      return "CMS";
+    case GcAlgorithm::kG1:
+      return "G1";
+  }
+  return "?";
+}
+
+Heap::Heap(const HeapConfig& config, ClassRegistry* registry)
+    : config_(config), registry_(registry) {
+  DECA_CHECK(registry != nullptr);
+  // Reserve two leading words so ObjRef 0 and 1 are never valid objects,
+  // plus one trailing word of guard slack.
+  buffer_bytes_ = config.heap_bytes + 4 * kWordSize;
+  buffer_ = std::make_unique<uint8_t[]>(buffer_bytes_);
+  base_ = buffer_.get();
+  DECA_CHECK_EQ(reinterpret_cast<uintptr_t>(base_) % alignof(uint64_t), 0u);
+  switch (config.algorithm) {
+    case GcAlgorithm::kParallelScavenge:
+      collector_ = std::make_unique<PsCollector>(this, config);
+      break;
+    case GcAlgorithm::kConcurrentMarkSweep:
+      collector_ = std::make_unique<CmsCollector>(this, config);
+      break;
+    case GcAlgorithm::kG1:
+      collector_ = std::make_unique<G1Collector>(this, config);
+      break;
+  }
+}
+
+Heap::~Heap() = default;
+
+ObjRef Heap::AllocateImpl(uint32_t class_id, uint32_t length,
+                          bool die_on_oom) {
+  const ClassInfo& ci = registry_->Get(class_id);
+  uint32_t total = ci.ObjectBytes(length);
+  bool large = total >= config_.large_object_bytes;
+  uint8_t* p = collector_->AllocateRaw(total, large);
+  if (p == nullptr) {
+    if (die_on_oom) {
+      DECA_LOG(Fatal) << "managed heap OOM allocating " << total
+                      << " bytes of " << ci.name() << " (used "
+                      << used_bytes() << "/" << capacity_bytes() << ", "
+                      << collector_->name() << ") " << collector_->DebugString();
+    }
+    return kNullRef;
+  }
+  std::memset(p, 0, total);
+  ObjRef r = RefOf(p);
+  MetaOf(r) = class_id | (collector_->TakeAllocSlack() ? kSlack8Bit : 0);
+  LengthOf(r) = length;
+  stats_.objects_allocated += 1;
+  stats_.bytes_allocated += total;
+  return r;
+}
+
+ObjRef Heap::AllocateInstance(uint32_t class_id) {
+  return AllocateImpl(class_id, 0, /*die_on_oom=*/true);
+}
+
+ObjRef Heap::AllocateArray(uint32_t class_id, uint32_t length) {
+  return AllocateImpl(class_id, length, /*die_on_oom=*/true);
+}
+
+ObjRef Heap::TryAllocateInstance(uint32_t class_id) {
+  return AllocateImpl(class_id, 0, /*die_on_oom=*/false);
+}
+
+ObjRef Heap::TryAllocateArray(uint32_t class_id, uint32_t length) {
+  return AllocateImpl(class_id, length, /*die_on_oom=*/false);
+}
+
+void Heap::AddRootProvider(RootProvider* provider) {
+  root_providers_.push_back(provider);
+}
+
+void Heap::RemoveRootProvider(RootProvider* provider) {
+  auto it =
+      std::find(root_providers_.begin(), root_providers_.end(), provider);
+  DECA_CHECK(it != root_providers_.end());
+  root_providers_.erase(it);
+}
+
+uint64_t Heap::CountInstances(uint32_t class_id) const {
+  uint64_t n = 0;
+  ForEachObject([&](ObjRef r) {
+    if (ClassIdOf(r) == class_id) ++n;
+  });
+  return n;
+}
+
+std::unordered_map<uint32_t, uint64_t> Heap::CountAllInstances() const {
+  std::unordered_map<uint32_t, uint64_t> counts;
+  ForEachObject([&](ObjRef r) { counts[ClassIdOf(r)] += 1; });
+  return counts;
+}
+
+void Heap::Verify() const {
+  // Collect all valid object starts, then check that every reachable
+  // object's reference slots land on one of them.
+  std::unordered_set<ObjRef> starts;
+  ForEachObject([&](ObjRef r) {
+    DECA_CHECK_LT(ClassIdOf(r), registry_->size());
+    starts.insert(r);
+  });
+  // Reachability pass (non-destructive: uses a local visited set).
+  std::unordered_set<ObjRef> visited;
+  std::vector<ObjRef> stack;
+  auto push = [&](ObjRef r) {
+    DECA_CHECK(starts.count(r) != 0)
+        << "dangling reference to " << r << " (not an object start)";
+    if (visited.insert(r).second) stack.push_back(r);
+  };
+  const_cast<Heap*>(this)->VisitRoots([&](ObjRef* s) { push(*s); });
+  while (!stack.empty()) {
+    ObjRef r = stack.back();
+    stack.pop_back();
+    VisitRefSlots(r, [&](ObjRef* s) {
+      if (*s != kNullRef) push(*s);
+    });
+  }
+}
+
+size_t MarkAllReachable(Heap* heap, uint64_t epoch, std::vector<ObjRef>* stack,
+                        const std::function<void(ObjRef)>& on_mark) {
+  stack->clear();
+  size_t live_bytes = 0;
+  uint64_t count = 0;
+  auto try_mark = [&](ObjRef r) {
+    uint64_t& gw = heap->GcWordOf(r);
+    if (GcIsMarkedIn(gw, epoch)) return;
+    gw = GcMakeMark(epoch);
+    live_bytes += heap->ObjectBytes(r);
+    ++count;
+    if (on_mark) on_mark(r);
+    stack->push_back(r);
+  };
+  heap->VisitRoots([&](ObjRef* s) { try_mark(*s); });
+  while (!stack->empty()) {
+    ObjRef r = stack->back();
+    stack->pop_back();
+    heap->VisitRefSlots(r, [&](ObjRef* s) {
+      if (*s != kNullRef) try_mark(*s);
+    });
+  }
+  heap->mutable_stats().objects_traced += count;
+  return live_bytes;
+}
+
+}  // namespace deca::jvm

@@ -1,0 +1,307 @@
+#ifndef DECA_JVM_HEAP_H_
+#define DECA_JVM_HEAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+#include "jvm/class_registry.h"
+#include "jvm/collector.h"
+#include "jvm/gc_stats.h"
+#include "jvm/heap_config.h"
+#include "jvm/object_model.h"
+
+namespace deca::jvm {
+
+class Heap;
+
+/// Supplies additional GC roots (e.g. a cache manager's block references).
+/// Providers are visited at every collection; they must call `fn` with the
+/// address of every live reference slot they own so moving collectors can
+/// update it in place.
+class RootProvider {
+ public:
+  virtual ~RootProvider() = default;
+  virtual void VisitRoots(const std::function<void(ObjRef*)>& fn) = 0;
+};
+
+/// A RootProvider backed by a plain vector of references. Containers that
+/// pin managed objects (cache blocks, page groups) embed one of these.
+class VectorRootProvider : public RootProvider {
+ public:
+  void VisitRoots(const std::function<void(ObjRef*)>& fn) override {
+    for (auto& r : refs_) {
+      if (r != kNullRef) fn(&r);
+    }
+  }
+  std::vector<ObjRef>& refs() { return refs_; }
+  const std::vector<ObjRef>& refs() const { return refs_; }
+
+ private:
+  std::vector<ObjRef> refs_;
+};
+
+/// A GC-safe reference to a managed object. The referenced slot lives in
+/// the heap's handle stack and is updated by moving collectors; the Handle
+/// itself is a trivially copyable (heap, slot index) pair. Handles are only
+/// valid while their enclosing HandleScope is alive.
+class Handle {
+ public:
+  Handle() : heap_(nullptr), index_(0) {}
+  Handle(Heap* heap, uint32_t index) : heap_(heap), index_(index) {}
+
+  inline ObjRef get() const;
+  inline void set(ObjRef value);
+  inline ObjRef operator*() const;
+  bool valid() const { return heap_ != nullptr; }
+
+ private:
+  Heap* heap_;
+  uint32_t index_;
+};
+
+/// One simulated JVM heap (one executor). Single-threaded: allocation,
+/// field access, and collections all happen on the owning thread.
+///
+/// Usage discipline (mirrors JNI local references): any raw ObjRef held in
+/// a C++ local across a potential allocation must be wrapped in a Handle
+/// inside an active HandleScope, because every allocation may trigger a
+/// moving collection.
+class Heap {
+ public:
+  Heap(const HeapConfig& config, ClassRegistry* registry);
+  ~Heap();
+
+  Heap(const Heap&) = delete;
+  Heap& operator=(const Heap&) = delete;
+
+  // -- Allocation ---------------------------------------------------------
+
+  /// Allocates an instance of `class_id` with zeroed payload; aborts on OOM.
+  ObjRef AllocateInstance(uint32_t class_id);
+  /// Allocates an array with zeroed elements; aborts on OOM.
+  ObjRef AllocateArray(uint32_t class_id, uint32_t length);
+  /// Like the above but returns kNullRef instead of aborting on OOM.
+  ObjRef TryAllocateInstance(uint32_t class_id);
+  ObjRef TryAllocateArray(uint32_t class_id, uint32_t length);
+
+  // -- Object access ------------------------------------------------------
+
+  uint8_t* Addr(ObjRef ref) const {
+    DECA_DCHECK(ref != kNullRef);
+    return base_ + static_cast<uint64_t>(ref) * kWordSize;
+  }
+  ObjRef RefOf(const uint8_t* p) const {
+    return static_cast<ObjRef>((p - base_) / kWordSize);
+  }
+
+  uint32_t& MetaOf(ObjRef ref) const {
+    return *reinterpret_cast<uint32_t*>(Addr(ref));
+  }
+  uint32_t& LengthOf(ObjRef ref) const {
+    return *reinterpret_cast<uint32_t*>(Addr(ref) + 4);
+  }
+  uint64_t& GcWordOf(ObjRef ref) const {
+    return *reinterpret_cast<uint64_t*>(Addr(ref) + 8);
+  }
+  uint32_t ClassIdOf(ObjRef ref) const { return MetaClassId(MetaOf(ref)); }
+  const ClassInfo& ClassOf(ObjRef ref) const {
+    return registry_->Get(ClassIdOf(ref));
+  }
+  uint32_t ArrayLength(ObjRef ref) const { return LengthOf(ref); }
+
+  /// Object size in bytes (header included).
+  uint32_t ObjectBytes(ObjRef ref) const {
+    return ClassOf(ref).ObjectBytes(LengthOf(ref));
+  }
+  /// Size used for address-order heap walking: object size plus any
+  /// allocator slack recorded in the header.
+  uint32_t WalkBytes(ObjRef ref) const {
+    return ObjectBytes(ref) + ((MetaOf(ref) & kSlack8Bit) != 0 ? 8 : 0);
+  }
+
+  template <typename T>
+  T GetField(ObjRef obj, uint32_t offset) const {
+    DECA_DCHECK_LE(offset + sizeof(T), ClassOf(obj).payload_bytes());
+    return LoadRaw<T>(Addr(obj) + kHeaderBytes + offset);
+  }
+  template <typename T>
+  void SetField(ObjRef obj, uint32_t offset, T value) {
+    DECA_DCHECK_LE(offset + sizeof(T), ClassOf(obj).payload_bytes());
+    StoreRaw(Addr(obj) + kHeaderBytes + offset, value);
+  }
+
+  ObjRef GetRefField(ObjRef obj, uint32_t offset) const {
+    DECA_DCHECK_LE(offset + sizeof(ObjRef), ClassOf(obj).payload_bytes());
+    return LoadRaw<ObjRef>(Addr(obj) + kHeaderBytes + offset);
+  }
+  void SetRefField(ObjRef obj, uint32_t offset, ObjRef value) {
+    DECA_DCHECK_LE(offset + sizeof(ObjRef), ClassOf(obj).payload_bytes());
+    StoreRaw(Addr(obj) + kHeaderBytes + offset, value);
+    if (value != kNullRef) collector_->WriteBarrier(obj, value);
+  }
+
+  template <typename T>
+  T GetElem(ObjRef arr, uint32_t i) const {
+    DECA_DCHECK(i < LengthOf(arr));
+    return LoadRaw<T>(Addr(arr) + kHeaderBytes + i * sizeof(T));
+  }
+  template <typename T>
+  void SetElem(ObjRef arr, uint32_t i, T value) {
+    DECA_DCHECK(i < LengthOf(arr));
+    StoreRaw(Addr(arr) + kHeaderBytes + i * sizeof(T), value);
+  }
+  ObjRef GetRefElem(ObjRef arr, uint32_t i) const {
+    return GetElem<ObjRef>(arr, i);
+  }
+  void SetRefElem(ObjRef arr, uint32_t i, ObjRef value) {
+    SetElem<ObjRef>(arr, i, value);
+    if (value != kNullRef) collector_->WriteBarrier(arr, value);
+  }
+
+  /// Raw payload pointer of an array (valid until the next allocation).
+  uint8_t* ArrayData(ObjRef arr) const { return Addr(arr) + kHeaderBytes; }
+
+  // -- Handles & roots ----------------------------------------------------
+
+  /// Pushes a new handle slot holding `ref`; released by the enclosing
+  /// HandleScope.
+  Handle NewHandle(ObjRef ref) {
+    if (handle_top_ == handle_slots_.size()) {
+      handle_slots_.push_back(ref);
+    } else {
+      handle_slots_[handle_top_] = ref;
+    }
+    return Handle(this, static_cast<uint32_t>(handle_top_++));
+  }
+
+  void AddRootProvider(RootProvider* provider);
+  void RemoveRootProvider(RootProvider* provider);
+
+  /// Calls `fn` for every non-null root slot (handles + providers).
+  template <typename F>
+  void VisitRoots(F&& fn) {
+    for (size_t i = 0; i < handle_top_; ++i) {
+      if (handle_slots_[i] != kNullRef) fn(&handle_slots_[i]);
+    }
+    std::function<void(ObjRef*)> wrapped = [&fn](ObjRef* slot) {
+      if (*slot != kNullRef) fn(slot);
+    };
+    for (auto* p : root_providers_) p->VisitRoots(wrapped);
+  }
+
+  /// Calls `fn(ObjRef* slot)` for every reference slot inside `obj`.
+  template <typename F>
+  void VisitRefSlots(ObjRef obj, F&& fn) const {
+    const ClassInfo& ci = ClassOf(obj);
+    uint8_t* payload = Addr(obj) + kHeaderBytes;
+    if (ci.is_array()) {
+      if (ci.elem_kind() == FieldKind::kRef) {
+        uint32_t n = LengthOf(obj);
+        ObjRef* elems = reinterpret_cast<ObjRef*>(payload);
+        for (uint32_t i = 0; i < n; ++i) fn(&elems[i]);
+      }
+    } else {
+      for (uint32_t off : ci.ref_offsets()) {
+        fn(reinterpret_cast<ObjRef*>(payload + off));
+      }
+    }
+  }
+
+  // -- Collection & introspection ------------------------------------------
+
+  void CollectMinor() { collector_->CollectMinor(); }
+  void CollectFull() { collector_->CollectFull(); }
+
+  const GcStats& stats() const { return stats_; }
+  GcStats& mutable_stats() { return stats_; }
+
+  ClassRegistry* registry() const { return registry_; }
+  const HeapConfig& config() const { return config_; }
+  Collector* collector() const { return collector_.get(); }
+
+  size_t used_bytes() const { return collector_->used_bytes(); }
+  size_t old_used_bytes() const { return collector_->old_used_bytes(); }
+  size_t capacity_bytes() const { return collector_->capacity_bytes(); }
+
+  /// Walks every allocated object (see Collector::ForEachObject).
+  void ForEachObject(const std::function<void(ObjRef)>& fn) const {
+    collector_->ForEachObject(fn);
+  }
+
+  /// Counts allocated instances of one class (heap-profiler style).
+  uint64_t CountInstances(uint32_t class_id) const;
+
+  /// Counts allocated instances per class id.
+  std::unordered_map<uint32_t, uint64_t> CountAllInstances() const;
+
+  /// Consistency check: every object has a valid class and every reference
+  /// slot points to an object start (or is null). Aborts on violation.
+  /// O(heap); intended for tests.
+  void Verify() const;
+
+  // -- Collector-internal facilities ---------------------------------------
+
+  uint8_t* base() const { return base_; }
+  size_t buffer_bytes() const { return buffer_bytes_; }
+  /// Advances and returns the mark epoch for a new collection cycle.
+  uint64_t NextGcEpoch() { return ++gc_epoch_; }
+  uint64_t gc_epoch() const { return gc_epoch_; }
+  size_t handle_top() const { return handle_top_; }
+
+ private:
+  friend class HandleScope;
+  friend class Handle;
+
+  ObjRef AllocateImpl(uint32_t class_id, uint32_t length, bool die_on_oom);
+
+  HeapConfig config_;
+  ClassRegistry* registry_;
+  std::unique_ptr<uint8_t[]> buffer_;
+  uint8_t* base_ = nullptr;
+  size_t buffer_bytes_ = 0;
+  std::unique_ptr<Collector> collector_;
+  GcStats stats_;
+  uint64_t gc_epoch_ = 0;
+
+  std::vector<ObjRef> handle_slots_;
+  size_t handle_top_ = 0;
+  std::vector<RootProvider*> root_providers_;
+};
+
+/// RAII scope for handles: releases every handle created after its
+/// construction. Scopes must nest properly.
+class HandleScope {
+ public:
+  explicit HandleScope(Heap* heap) : heap_(heap), mark_(heap->handle_top_) {}
+  ~HandleScope() { heap_->handle_top_ = mark_; }
+
+  HandleScope(const HandleScope&) = delete;
+  HandleScope& operator=(const HandleScope&) = delete;
+
+  /// Creates a handle in this scope (delegates to the heap).
+  Handle Make(ObjRef ref) { return heap_->NewHandle(ref); }
+
+ private:
+  Heap* heap_;
+  size_t mark_;
+};
+
+inline ObjRef Handle::get() const { return heap_->handle_slots_[index_]; }
+inline void Handle::set(ObjRef value) { heap_->handle_slots_[index_] = value; }
+inline ObjRef Handle::operator*() const { return get(); }
+
+/// Marks every object reachable from the heap's roots with `epoch` and
+/// returns the total live bytes. `stack` is caller-provided scratch.
+/// `on_mark` (optional) is invoked once per newly marked object — G1 uses
+/// it to attribute live bytes to regions.
+size_t MarkAllReachable(Heap* heap, uint64_t epoch, std::vector<ObjRef>* stack,
+                        const std::function<void(ObjRef)>& on_mark = nullptr);
+
+}  // namespace deca::jvm
+
+#endif  // DECA_JVM_HEAP_H_

@@ -1,0 +1,60 @@
+#ifndef DECA_JVM_HEAP_CONFIG_H_
+#define DECA_JVM_HEAP_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace deca::jvm {
+
+/// Which garbage collector manages the heap. Mirrors the three Hotspot
+/// collectors the paper evaluates (Section 6.4, Table 4).
+enum class GcAlgorithm {
+  kParallelScavenge,    // default: STW copying minor + mark-compact full
+  kConcurrentMarkSweep, // free-list old gen, mostly-concurrent major
+  kG1,                  // region-based, liveness-driven mixed collections
+};
+
+const char* GcAlgorithmName(GcAlgorithm a);
+
+/// Static sizing and policy knobs for one simulated executor heap.
+struct HeapConfig {
+  /// Total managed heap size (the executor's -Xmx).
+  size_t heap_bytes = 64u << 20;
+
+  /// Fraction of the heap given to the young generation (PS/CMS) or the
+  /// maximum young region share (G1).
+  double young_fraction = 0.25;
+
+  /// Each survivor's share of the young generation (PS/CMS).
+  double survivor_fraction = 0.125;
+
+  /// Object age (number of survived minor GCs) at which objects are
+  /// promoted to the old generation.
+  uint32_t tenure_threshold = 4;
+
+  /// Objects at least this large are allocated directly in the old
+  /// generation (PS/CMS) or as humongous regions (G1).
+  size_t large_object_bytes = 32u << 10;
+
+  GcAlgorithm algorithm = GcAlgorithm::kParallelScavenge;
+
+  /// G1: region size; 0 = auto (heap/128 clamped to [64KB, 1MB]).
+  size_t g1_region_bytes = 0;
+
+  /// G1: old-generation occupancy fraction that triggers a marking cycle
+  /// (InitiatingHeapOccupancyPercent analogue).
+  double g1_ihop = 0.45;
+
+  /// G1: old regions with live ratio below this become evacuation
+  /// candidates during mixed collections.
+  double g1_live_threshold = 0.85;
+
+  /// CMS/G1: share of major-collection mark/sweep work charged as
+  /// stop-the-world pause; the remainder is accounted as concurrent work
+  /// (running on spare cores in a real deployment).
+  double concurrent_pause_share = 0.1;
+};
+
+}  // namespace deca::jvm
+
+#endif  // DECA_JVM_HEAP_CONFIG_H_

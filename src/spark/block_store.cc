@@ -1,0 +1,292 @@
+#include "spark/block_store.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace deca::spark {
+
+const char* StorageLevelName(StorageLevel s) {
+  switch (s) {
+    case StorageLevel::kMemoryObjects:
+      return "MEMORY_OBJECTS";
+    case StorageLevel::kMemorySerialized:
+      return "MEMORY_SER";
+    case StorageLevel::kDecaPages:
+      return "DECA_PAGES";
+  }
+  return "?";
+}
+
+namespace {
+
+void WriteFile(const std::string& path, const uint8_t* data, size_t size) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  DECA_CHECK(f != nullptr) << "cannot open swap file " << path;
+  if (size > 0) {
+    size_t n = std::fwrite(data, 1, size, f);
+    DECA_CHECK_EQ(n, size);
+  }
+  std::fclose(f);
+}
+
+std::vector<uint8_t> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  DECA_CHECK(f != nullptr) << "cannot open swap file " << path;
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> data(static_cast<size_t>(size));
+  if (size > 0) {
+    size_t n = std::fread(data.data(), 1, data.size(), f);
+    DECA_CHECK_EQ(n, data.size());
+  }
+  std::fclose(f);
+  return data;
+}
+
+}  // namespace
+
+CacheManager::CacheManager(jvm::Heap* heap, const SparkConfig* config,
+                           int executor_id)
+    : heap_(heap), cfg_(config), executor_id_(executor_id) {
+  heap_->AddRootProvider(this);
+  std::filesystem::create_directories(cfg_->spill_dir);
+}
+
+CacheManager::~CacheManager() {
+  for (auto& [key, e] : blocks_) {
+    if (!e.disk_path.empty()) std::remove(e.disk_path.c_str());
+  }
+  heap_->RemoveRootProvider(this);
+}
+
+void CacheManager::VisitRoots(const std::function<void(jvm::ObjRef*)>& fn) {
+  for (auto& [key, e] : blocks_) {
+    if (e.data != jvm::kNullRef) fn(&e.data);
+  }
+}
+
+void CacheManager::RegisterOps(int rdd_id, const RecordOps* ops) {
+  ops_[rdd_id] = ops;
+}
+
+uint64_t CacheManager::EstimateObjectBlockBytes(const RecordOps* ops,
+                                                jvm::ObjRef records,
+                                                uint32_t count) const {
+  uint64_t bytes = jvm::kHeaderBytes + 4ull * count;  // the Object[] itself
+  for (uint32_t i = 0; i < count; ++i) {
+    bytes += ops->managed_bytes(heap_, heap_->GetRefElem(records, i));
+  }
+  return bytes;
+}
+
+void CacheManager::SerializeRecords(const RecordOps* ops, jvm::ObjRef records,
+                                    uint32_t count, ByteWriter* out) {
+  for (uint32_t i = 0; i < count; ++i) {
+    ops->serialize(heap_, heap_->GetRefElem(records, i), out);
+  }
+}
+
+jvm::ObjRef CacheManager::DeserializeRecords(const RecordOps* ops,
+                                             const uint8_t* data, size_t size,
+                                             uint32_t count,
+                                             TaskMetrics* metrics) {
+  ScopedTimerMs timer(&metrics->deser_ms);
+  jvm::HandleScope scope(heap_);
+  jvm::Handle arr = scope.Make(
+      heap_->AllocateArray(heap_->registry()->ref_array_class(), count));
+  ByteReader reader(data, size);
+  for (uint32_t i = 0; i < count; ++i) {
+    jvm::ObjRef rec = ops->deserialize(heap_, &reader);
+    heap_->SetRefElem(arr.get(), i, rec);
+  }
+  return arr.get();
+}
+
+void CacheManager::PutObjects(BlockKey key, jvm::ObjRef records,
+                              uint32_t count, TaskMetrics* metrics) {
+  const RecordOps* ops = ops_.at(key.rdd_id);
+  Entry e;
+  e.count = count;
+  if (cfg_->cache_level == StorageLevel::kMemorySerialized) {
+    ByteWriter w;
+    {
+      ScopedTimerMs timer(&metrics->ser_ms);
+      SerializeRecords(ops, records, count, &w);
+    }
+    jvm::HandleScope scope(heap_);
+    jvm::Handle bytes = scope.Make(heap_->AllocateArray(
+        heap_->registry()->byte_array_class(),
+        static_cast<uint32_t>(w.size())));
+    std::memcpy(heap_->ArrayData(bytes.get()), w.data(), w.size());
+    e.level = StorageLevel::kMemorySerialized;
+    e.data = bytes.get();
+    e.bytes = jvm::kHeaderBytes + w.size();
+  } else {
+    e.level = StorageLevel::kMemoryObjects;
+    e.data = records;
+    e.bytes = EstimateObjectBlockBytes(ops, records, count);
+  }
+  e.lru_tick = ++lru_clock_;
+  auto [it, inserted] = blocks_.insert_or_assign(key, std::move(e));
+  (void)it;
+  DECA_CHECK(inserted) << "block cached twice";
+  memory_bytes_ += blocks_[key].bytes;
+  if (memory_bytes_ > peak_memory_bytes_) peak_memory_bytes_ = memory_bytes_;
+  EnforceBudget(metrics);
+}
+
+void CacheManager::PutPages(BlockKey key,
+                            std::shared_ptr<core::PageGroup> pages,
+                            uint32_t count, TaskMetrics* metrics) {
+  Entry e;
+  e.level = StorageLevel::kDecaPages;
+  e.count = count;
+  e.pages = std::move(pages);
+  e.bytes = e.pages->footprint_bytes();
+  e.lru_tick = ++lru_clock_;
+  auto [it, inserted] = blocks_.insert_or_assign(key, std::move(e));
+  (void)it;
+  DECA_CHECK(inserted) << "block cached twice";
+  memory_bytes_ += blocks_[key].bytes;
+  if (memory_bytes_ > peak_memory_bytes_) peak_memory_bytes_ = memory_bytes_;
+  EnforceBudget(metrics);
+}
+
+LoadedBlock CacheManager::Get(BlockKey key, TaskMetrics* metrics) {
+  auto it = blocks_.find(key);
+  if (it == blocks_.end()) return {};
+  Entry& e = it->second;
+  e.lru_tick = ++lru_clock_;
+  LoadedBlock block;
+  block.level = e.level;
+  block.count = e.count;
+  if (!e.on_disk) {
+    block.object_array =
+        e.level == StorageLevel::kMemoryObjects ? e.data : jvm::kNullRef;
+    block.serialized =
+        e.level == StorageLevel::kMemorySerialized ? e.data : jvm::kNullRef;
+    block.pages = e.pages;
+    return block;
+  }
+  // Stream the block back from its swap file (it stays on disk; Spark's
+  // MEMORY_AND_DISK re-reads swapped blocks on every access).
+  std::vector<uint8_t> data;
+  {
+    ScopedTimerMs timer(&metrics->spill_ms);
+    data = ReadFile(e.disk_path);
+  }
+  block.temporary = true;
+  switch (e.level) {
+    case StorageLevel::kMemoryObjects: {
+      const RecordOps* ops = ops_.at(key.rdd_id);
+      block.object_array =
+          DeserializeRecords(ops, data.data(), data.size(), e.count, metrics);
+      break;
+    }
+    case StorageLevel::kMemorySerialized: {
+      jvm::ObjRef bytes = heap_->AllocateArray(
+          heap_->registry()->byte_array_class(),
+          static_cast<uint32_t>(data.size()));
+      std::memcpy(heap_->ArrayData(bytes), data.data(), data.size());
+      block.serialized = bytes;
+      break;
+    }
+    case StorageLevel::kDecaPages: {
+      // Raw page reload: no deserialization (paper Appendix C).
+      auto group = std::make_shared<core::PageGroup>(
+          heap_, cfg_->deca_page_bytes);
+      ByteReader r(data.data(), data.size());
+      uint32_t pages = r.Read<uint32_t>();
+      for (uint32_t i = 0; i < pages; ++i) {
+        uint32_t used = r.Read<uint32_t>();
+        core::SegPtr seg = group->Append(used);
+        r.ReadBytes(group->Resolve(seg), used);
+      }
+      block.pages = std::move(group);
+      break;
+    }
+  }
+  return block;
+}
+
+void CacheManager::Evict(BlockKey key) {
+  auto it = blocks_.find(key);
+  if (it == blocks_.end()) return;
+  if (!it->second.on_disk) memory_bytes_ -= it->second.bytes;
+  if (!it->second.disk_path.empty()) {
+    disk_bytes_ -= it->second.bytes;
+    std::remove(it->second.disk_path.c_str());
+  }
+  blocks_.erase(it);
+}
+
+std::string CacheManager::SwapPath(BlockKey key) const {
+  return cfg_->spill_dir + "/swap_e" + std::to_string(executor_id_) + "_r" +
+         std::to_string(key.rdd_id) + "_p" + std::to_string(key.partition);
+}
+
+void CacheManager::SwapOut(BlockKey key, Entry* e, TaskMetrics* metrics) {
+  std::string path = SwapPath(key);
+  switch (e->level) {
+    case StorageLevel::kMemoryObjects: {
+      const RecordOps* ops = ops_.at(key.rdd_id);
+      ByteWriter w;
+      {
+        ScopedTimerMs timer(&metrics->ser_ms);
+        SerializeRecords(ops, e->data, e->count, &w);
+      }
+      ScopedTimerMs timer(&metrics->spill_ms);
+      WriteFile(path, w.data(), w.size());
+      break;
+    }
+    case StorageLevel::kMemorySerialized: {
+      ScopedTimerMs timer(&metrics->spill_ms);
+      WriteFile(path, heap_->ArrayData(e->data), heap_->ArrayLength(e->data));
+      break;
+    }
+    case StorageLevel::kDecaPages: {
+      // Decomposed bytes go to disk as-is.
+      ScopedTimerMs timer(&metrics->spill_ms);
+      ByteWriter w;
+      w.Write<uint32_t>(e->pages->page_count());
+      for (uint32_t i = 0; i < e->pages->page_count(); ++i) {
+        uint32_t used = e->pages->page_used(i);
+        w.Write<uint32_t>(used);
+        w.WriteBytes(e->pages->Resolve({i, 0}), used);
+      }
+      WriteFile(path, w.data(), w.size());
+      break;
+    }
+  }
+  e->on_disk = true;
+  e->disk_path = path;
+  e->data = jvm::kNullRef;
+  e->pages.reset();
+  memory_bytes_ -= e->bytes;
+  disk_bytes_ += e->bytes;
+  ++swap_out_count_;
+}
+
+void CacheManager::EnforceBudget(TaskMetrics* metrics) {
+  size_t budget = cfg_->storage_budget_bytes();
+  while (memory_bytes_ > budget) {
+    // Pick the least-recently-used in-memory block.
+    BlockKey victim{};
+    uint64_t best_tick = UINT64_MAX;
+    for (auto& [key, e] : blocks_) {
+      if (e.on_disk) continue;
+      if (e.lru_tick < best_tick) {
+        best_tick = e.lru_tick;
+        victim = key;
+      }
+    }
+    if (best_tick == UINT64_MAX) return;  // nothing left to evict
+    SwapOut(victim, &blocks_[victim], metrics);
+  }
+}
+
+}  // namespace deca::spark

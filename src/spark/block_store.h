@@ -1,0 +1,136 @@
+#ifndef DECA_SPARK_BLOCK_STORE_H_
+#define DECA_SPARK_BLOCK_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/page.h"
+#include "jvm/heap.h"
+#include "spark/config.h"
+#include "spark/metrics.h"
+#include "spark/record_ops.h"
+
+namespace deca::spark {
+
+/// Identifies one cached block: (rdd id, partition).
+struct BlockKey {
+  int rdd_id = 0;
+  int partition = 0;
+
+  bool operator<(const BlockKey& o) const {
+    return rdd_id != o.rdd_id ? rdd_id < o.rdd_id : partition < o.partition;
+  }
+  bool operator==(const BlockKey& o) const {
+    return rdd_id == o.rdd_id && partition == o.partition;
+  }
+};
+
+/// A materialized cache block as returned to tasks. Exactly one
+/// representation is set. `temporary` marks data streamed back from a swap
+/// file (not re-inserted into the store).
+struct LoadedBlock {
+  StorageLevel level = StorageLevel::kMemoryObjects;
+  uint32_t count = 0;
+  /// kMemoryObjects: a managed Object[] of record roots.
+  jvm::ObjRef object_array = jvm::kNullRef;
+  /// kMemorySerialized: a managed byte[] of concatenated records.
+  jvm::ObjRef serialized = jvm::kNullRef;
+  /// kDecaPages: the block's page group.
+  std::shared_ptr<core::PageGroup> pages;
+  bool temporary = false;
+
+  bool valid() const {
+    return object_array != jvm::kNullRef || serialized != jvm::kNullRef ||
+           pages != nullptr;
+  }
+};
+
+/// Per-executor cache manager: stores blocks at the configured storage
+/// level within a byte budget, evicting least-recently-used blocks to swap
+/// files on disk (Spark's MEMORY_AND_DISK). Deca page-group blocks are
+/// written to disk as raw page bytes — no serialization (paper Appendix C).
+///
+/// Registered as a GC root provider: in-memory object/serialized blocks
+/// pin their managed arrays; page groups pin their own pages.
+class CacheManager : public jvm::RootProvider {
+ public:
+  CacheManager(jvm::Heap* heap, const SparkConfig* config, int executor_id);
+  ~CacheManager() override;
+
+  /// Associates the record operations used to (de)serialize blocks of
+  /// `rdd_id` during swap.
+  void RegisterOps(int rdd_id, const RecordOps* ops);
+
+  /// Caches a block of managed records (level kMemoryObjects or, when the
+  /// configured level is kMemorySerialized, serializes them). `records`
+  /// must be a managed Object[].
+  void PutObjects(BlockKey key, jvm::ObjRef records, uint32_t count,
+                  TaskMetrics* metrics);
+
+  /// Caches a Deca page-group block.
+  void PutPages(BlockKey key, std::shared_ptr<core::PageGroup> pages,
+                uint32_t count, TaskMetrics* metrics);
+
+  /// Fetches a block; reloads from the swap file if it was evicted
+  /// (charging deserialization/spill time to `metrics`). Returns an
+  /// invalid block if the key was never cached.
+  LoadedBlock Get(BlockKey key, TaskMetrics* metrics);
+
+  /// Drops a block entirely (unpersist).
+  void Evict(BlockKey key);
+
+  /// Total bytes of blocks currently held in memory.
+  uint64_t memory_bytes() const { return memory_bytes_; }
+  /// Total bytes of blocks currently swapped out.
+  uint64_t disk_bytes() const { return disk_bytes_; }
+  /// Peak in-memory footprint observed.
+  uint64_t peak_memory_bytes() const { return peak_memory_bytes_; }
+  uint64_t swap_out_count() const { return swap_out_count_; }
+
+  void VisitRoots(const std::function<void(jvm::ObjRef*)>& fn) override;
+
+ private:
+  struct Entry {
+    StorageLevel level;
+    uint32_t count = 0;
+    jvm::ObjRef data = jvm::kNullRef;  // Object[] or byte[] when in memory
+    std::shared_ptr<core::PageGroup> pages;
+    uint64_t bytes = 0;  // in-memory footprint estimate
+    bool on_disk = false;
+    std::string disk_path;
+    uint64_t lru_tick = 0;
+  };
+
+  /// Serializes a managed Object[] block into `out` (Kryo-style).
+  void SerializeRecords(const RecordOps* ops, jvm::ObjRef records,
+                        uint32_t count, ByteWriter* out);
+  jvm::ObjRef DeserializeRecords(const RecordOps* ops, const uint8_t* data,
+                                 size_t size, uint32_t count,
+                                 TaskMetrics* metrics);
+
+  /// Evicts LRU blocks to disk until the storage budget is respected.
+  void EnforceBudget(TaskMetrics* metrics);
+  void SwapOut(BlockKey key, Entry* e, TaskMetrics* metrics);
+  std::string SwapPath(BlockKey key) const;
+
+  uint64_t EstimateObjectBlockBytes(const RecordOps* ops, jvm::ObjRef records,
+                                    uint32_t count) const;
+
+  jvm::Heap* heap_;
+  const SparkConfig* cfg_;
+  int executor_id_;
+  std::map<BlockKey, Entry> blocks_;
+  std::map<int, const RecordOps*> ops_;
+  uint64_t memory_bytes_ = 0;
+  uint64_t disk_bytes_ = 0;
+  uint64_t peak_memory_bytes_ = 0;
+  uint64_t swap_out_count_ = 0;
+  uint64_t lru_clock_ = 0;
+};
+
+}  // namespace deca::spark
+
+#endif  // DECA_SPARK_BLOCK_STORE_H_

@@ -1,0 +1,64 @@
+#ifndef DECA_SPARK_CONFIG_H_
+#define DECA_SPARK_CONFIG_H_
+
+#include <string>
+
+#include "jvm/heap_config.h"
+
+namespace deca::spark {
+
+/// How cached RDD blocks are stored in an executor.
+enum class StorageLevel {
+  /// Deserialized managed objects (Spark's MEMORY_AND_DISK): fastest to
+  /// access, most GC load.
+  kMemoryObjects,
+  /// One managed byte array per block holding Kryo-style serialized
+  /// records (Spark's MEMORY_AND_DISK_SER — the paper's "SparkSer").
+  kMemorySerialized,
+  /// Deca page groups of decomposed records.
+  kDecaPages,
+};
+
+const char* StorageLevelName(StorageLevel s);
+
+/// Engine configuration: one simulated application (driver + executors).
+struct SparkConfig {
+  /// Number of simulated executors, each with its own managed heap.
+  int num_executors = 2;
+  /// Tasks per stage = num_executors * partitions_per_executor.
+  int partitions_per_executor = 2;
+  /// Per-executor heap sizing and GC algorithm.
+  jvm::HeapConfig heap;
+
+  /// Fraction of the heap available to storage + shuffle (Spark's
+  /// spark.memory.fraction).
+  double memory_fraction = 0.65;
+  /// Share of the managed memory budget reserved for cached blocks vs.
+  /// shuffle buffers (the knob the paper's Table 4 tunes).
+  double storage_fraction = 0.5;
+
+  /// Cached-RDD storage level.
+  StorageLevel cache_level = StorageLevel::kMemoryObjects;
+  /// When true, shuffle buffers with decomposable key/value types use Deca
+  /// page groups with in-place aggregation instead of managed objects.
+  bool deca_shuffle = false;
+
+  /// Size of Deca's logical memory pages.
+  uint32_t deca_page_bytes = 64u << 10;
+
+  /// Directory for cache swap and shuffle spill files.
+  std::string spill_dir = "/tmp/deca_spill";
+
+  size_t storage_budget_bytes() const {
+    return static_cast<size_t>(static_cast<double>(heap.heap_bytes) *
+                               memory_fraction * storage_fraction);
+  }
+  size_t shuffle_budget_bytes() const {
+    return static_cast<size_t>(static_cast<double>(heap.heap_bytes) *
+                               memory_fraction * (1.0 - storage_fraction));
+  }
+};
+
+}  // namespace deca::spark
+
+#endif  // DECA_SPARK_CONFIG_H_

@@ -1,0 +1,104 @@
+#include "spark/context.h"
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace deca::spark {
+
+SparkContext::SparkContext(const SparkConfig& config) : config_(config) {
+  DECA_CHECK_GT(config.num_executors, 0);
+  for (int i = 0; i < config.num_executors; ++i) {
+    executors_.push_back(std::make_unique<Executor>(i, config_, &registry_));
+  }
+}
+
+SparkContext::~SparkContext() = default;
+
+void SparkContext::RunStage(const std::string& name,
+                            const std::function<void(TaskContext&)>& task) {
+  (void)name;
+  Stopwatch stage_sw;
+  for (int p = 0; p < num_partitions(); ++p) {
+    Executor* e = executor_for_partition(p);
+    TaskContext tc(this, e, p, num_partitions());
+    double gc0 = e->heap()->stats().TotalPauseMs();
+    Stopwatch sw;
+    task(tc);
+    tc.metrics().total_ms = sw.ElapsedMillis();
+    tc.metrics().gc_ms = e->heap()->stats().TotalPauseMs() - gc0;
+    metrics_.ObserveTask(tc.metrics());
+  }
+  metrics_.wall_ms += stage_sw.ElapsedMillis();
+}
+
+void SparkContext::RegisterCachedRdd(int rdd_id, const RecordOps* ops) {
+  for (auto& e : executors_) e->cache()->RegisterOps(rdd_id, ops);
+}
+
+void SparkContext::UnpersistRdd(int rdd_id) {
+  for (auto& e : executors_) {
+    for (int p = 0; p < num_partitions(); ++p) {
+      e->cache()->Evict({rdd_id, p});
+    }
+  }
+}
+
+void SparkContext::ResetMetrics() { metrics_ = JobMetrics(); }
+
+double SparkContext::TotalGcPauseMs() const {
+  double total = 0;
+  for (const auto& e : executors_) {
+    total += const_cast<Executor&>(*e).heap()->stats().TotalPauseMs();
+  }
+  return total;
+}
+
+double SparkContext::TotalConcurrentGcMs() const {
+  double total = 0;
+  for (const auto& e : executors_) {
+    total += const_cast<Executor&>(*e).heap()->stats().concurrent_ms;
+  }
+  return total;
+}
+
+uint64_t SparkContext::TotalMinorGcs() const {
+  uint64_t total = 0;
+  for (const auto& e : executors_) {
+    total += const_cast<Executor&>(*e).heap()->stats().minor_count;
+  }
+  return total;
+}
+
+uint64_t SparkContext::TotalFullGcs() const {
+  uint64_t total = 0;
+  for (const auto& e : executors_) {
+    total += const_cast<Executor&>(*e).heap()->stats().full_count;
+  }
+  return total;
+}
+
+uint64_t SparkContext::CachedMemoryBytes() const {
+  uint64_t total = 0;
+  for (const auto& e : executors_) {
+    total += const_cast<Executor&>(*e).cache()->memory_bytes();
+  }
+  return total;
+}
+
+uint64_t SparkContext::PeakCachedMemoryBytes() const {
+  uint64_t total = 0;
+  for (const auto& e : executors_) {
+    total += const_cast<Executor&>(*e).cache()->peak_memory_bytes();
+  }
+  return total;
+}
+
+uint64_t SparkContext::SwappedBytes() const {
+  uint64_t total = 0;
+  for (const auto& e : executors_) {
+    total += const_cast<Executor&>(*e).cache()->disk_bytes();
+  }
+  return total;
+}
+
+}  // namespace deca::spark

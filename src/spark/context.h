@@ -1,0 +1,105 @@
+#ifndef DECA_SPARK_CONTEXT_H_
+#define DECA_SPARK_CONTEXT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "jvm/class_registry.h"
+#include "spark/executor.h"
+#include "spark/metrics.h"
+#include "spark/shuffle.h"
+
+namespace deca::spark {
+
+class SparkContext;
+
+/// Per-task view handed to stage functions: the partition id, the owning
+/// executor (heap, cache) and the task's metric sink.
+class TaskContext {
+ public:
+  TaskContext(SparkContext* ctx, Executor* executor, int partition,
+              int num_partitions)
+      : ctx_(ctx),
+        executor_(executor),
+        partition_(partition),
+        num_partitions_(num_partitions) {}
+
+  int partition() const { return partition_; }
+  int num_partitions() const { return num_partitions_; }
+  Executor* executor() { return executor_; }
+  jvm::Heap* heap() { return executor_->heap(); }
+  CacheManager* cache() { return executor_->cache(); }
+  SparkContext* context() { return ctx_; }
+  TaskMetrics& metrics() { return metrics_; }
+
+ private:
+  SparkContext* ctx_;
+  Executor* executor_;
+  int partition_;
+  int num_partitions_;
+  TaskMetrics metrics_;
+};
+
+/// The driver: owns the executors (each with its own managed heap), the
+/// shuffle service and the job metrics. Stages execute their tasks one per
+/// partition, round-robin across executors — modelling a cluster run on a
+/// single thread so measurements are deterministic.
+class SparkContext {
+ public:
+  explicit SparkContext(const SparkConfig& config);
+  ~SparkContext();
+
+  SparkContext(const SparkContext&) = delete;
+  SparkContext& operator=(const SparkContext&) = delete;
+
+  const SparkConfig& config() const { return config_; }
+  jvm::ClassRegistry* registry() { return &registry_; }
+  ShuffleService* shuffle() { return &shuffle_; }
+
+  int num_partitions() const {
+    return config_.num_executors * config_.partitions_per_executor;
+  }
+  int num_executors() const { return config_.num_executors; }
+  Executor* executor(int i) { return executors_[static_cast<size_t>(i)].get(); }
+  Executor* executor_for_partition(int p) {
+    return executors_[static_cast<size_t>(p) % executors_.size()].get();
+  }
+
+  /// Runs one stage: `task` is invoked once per partition. Task wall time
+  /// and the GC pauses incurred during it are recorded in the job metrics.
+  void RunStage(const std::string& name,
+                const std::function<void(TaskContext&)>& task);
+
+  /// Registers record ops for an RDD id on every executor's cache manager.
+  void RegisterCachedRdd(int rdd_id, const RecordOps* ops);
+
+  /// Drops an unpersisted RDD's blocks on all executors.
+  void UnpersistRdd(int rdd_id);
+
+  JobMetrics& metrics() { return metrics_; }
+  /// Resets accumulated job metrics (e.g. after warmup).
+  void ResetMetrics();
+
+  /// Sum of GC pause time across executors so far.
+  double TotalGcPauseMs() const;
+  double TotalConcurrentGcMs() const;
+  uint64_t TotalMinorGcs() const;
+  uint64_t TotalFullGcs() const;
+  /// Sum of current in-memory cached bytes across executors.
+  uint64_t CachedMemoryBytes() const;
+  uint64_t PeakCachedMemoryBytes() const;
+  uint64_t SwappedBytes() const;
+
+ private:
+  SparkConfig config_;
+  jvm::ClassRegistry registry_;
+  std::vector<std::unique_ptr<Executor>> executors_;
+  ShuffleService shuffle_;
+  JobMetrics metrics_;
+};
+
+}  // namespace deca::spark
+
+#endif  // DECA_SPARK_CONTEXT_H_

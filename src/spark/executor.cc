@@ -1,0 +1,12 @@
+#include "spark/executor.h"
+
+namespace deca::spark {
+
+Executor::Executor(int id, const SparkConfig& config,
+                   jvm::ClassRegistry* registry)
+    : id_(id) {
+  heap_ = std::make_unique<jvm::Heap>(config.heap, registry);
+  cache_ = std::make_unique<CacheManager>(heap_.get(), &config, id);
+}
+
+}  // namespace deca::spark

@@ -1,0 +1,32 @@
+#ifndef DECA_SPARK_EXECUTOR_H_
+#define DECA_SPARK_EXECUTOR_H_
+
+#include <memory>
+
+#include "jvm/class_registry.h"
+#include "jvm/heap.h"
+#include "spark/block_store.h"
+#include "spark/config.h"
+
+namespace deca::spark {
+
+/// One simulated executor: a managed heap plus its cache manager. Tasks
+/// assigned to this executor allocate from its heap; GC pauses incurred
+/// while a task runs are attributed to that task.
+class Executor {
+ public:
+  Executor(int id, const SparkConfig& config, jvm::ClassRegistry* registry);
+
+  int id() const { return id_; }
+  jvm::Heap* heap() { return heap_.get(); }
+  CacheManager* cache() { return cache_.get(); }
+
+ private:
+  int id_;
+  std::unique_ptr<jvm::Heap> heap_;
+  std::unique_ptr<CacheManager> cache_;
+};
+
+}  // namespace deca::spark
+
+#endif  // DECA_SPARK_EXECUTOR_H_

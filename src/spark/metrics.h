@@ -1,0 +1,56 @@
+#ifndef DECA_SPARK_METRICS_H_
+#define DECA_SPARK_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace deca::spark {
+
+/// Wall-clock breakdown of one task (paper Figure 11's categories).
+struct TaskMetrics {
+  double total_ms = 0;
+  double gc_ms = 0;            // stop-the-world GC pauses during the task
+  double shuffle_read_ms = 0;
+  double shuffle_write_ms = 0;
+  double ser_ms = 0;           // serialization (cache + shuffle write)
+  double deser_ms = 0;         // deserialization (cache + shuffle read)
+  double spill_ms = 0;         // cache swap + shuffle spill disk I/O
+
+  double compute_ms() const {
+    double other = gc_ms + shuffle_read_ms + shuffle_write_ms + ser_ms +
+                   deser_ms + spill_ms;
+    return total_ms > other ? total_ms - other : 0.0;
+  }
+
+  void Accumulate(const TaskMetrics& t) {
+    total_ms += t.total_ms;
+    gc_ms += t.gc_ms;
+    shuffle_read_ms += t.shuffle_read_ms;
+    shuffle_write_ms += t.shuffle_write_ms;
+    ser_ms += t.ser_ms;
+    deser_ms += t.deser_ms;
+    spill_ms += t.spill_ms;
+  }
+};
+
+/// Aggregated metrics for a stage or a whole job.
+struct JobMetrics {
+  double wall_ms = 0;           // end-to-end driver wall clock
+  TaskMetrics tasks;            // sum over all tasks
+  TaskMetrics slowest_task;     // task with the largest total_ms
+  uint64_t minor_gcs = 0;
+  uint64_t full_gcs = 0;
+  double concurrent_gc_ms = 0;
+  uint64_t cached_bytes = 0;    // peak cached data across executors
+  uint64_t spilled_bytes = 0;
+
+  void ObserveTask(const TaskMetrics& t) {
+    tasks.Accumulate(t);
+    if (t.total_ms > slowest_task.total_ms) slowest_task = t;
+  }
+};
+
+}  // namespace deca::spark
+
+#endif  // DECA_SPARK_METRICS_H_

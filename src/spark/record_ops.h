@@ -1,0 +1,70 @@
+#ifndef DECA_SPARK_RECORD_OPS_H_
+#define DECA_SPARK_RECORD_OPS_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/bytes.h"
+#include "jvm/heap.h"
+
+namespace deca::spark {
+
+/// Type-erased operations the engine needs over one record type. In Spark
+/// these come from the JVM type system and Kryo registrations; in Deca
+/// from the optimizer's generated SUDT code. Workloads register both
+/// flavours; the planner's verdict decides which path runs.
+struct RecordOps {
+  /// Estimated managed-heap footprint of one record's object graph
+  /// (headers included), for cache accounting.
+  std::function<uint64_t(jvm::Heap*, jvm::ObjRef)> managed_bytes;
+
+  /// Kryo-style compact binary serialization of one managed record.
+  std::function<void(jvm::Heap*, jvm::ObjRef, ByteWriter*)> serialize;
+  /// Rebuilds the managed object graph from serialized form.
+  std::function<jvm::ObjRef(jvm::Heap*, ByteReader*)> deserialize;
+
+  /// Size of the record's decomposed byte segment (SUDT data-size; only
+  /// set for decomposable record types).
+  std::function<uint32_t(jvm::Heap*, jvm::ObjRef)> deca_bytes;
+  /// Writes the decomposed byte segment (discarding headers/references).
+  std::function<void(jvm::Heap*, jvm::ObjRef, uint8_t*)> decompose;
+  /// Re-creates the object graph from a decomposed segment (used when a
+  /// later phase cannot run on bytes and Deca re-constructs, Section
+  /// 4.3.2).
+  std::function<jvm::ObjRef(jvm::Heap*, const uint8_t*)> reconstruct;
+
+  bool decomposable() const { return static_cast<bool>(decompose); }
+};
+
+/// Operations for shuffle key/value handling (hash-based buffers with
+/// eager combining, paper Section 4.2).
+struct ShuffleOps {
+  // -- object (Spark) mode -------------------------------------------------
+  std::function<uint64_t(jvm::Heap*, jvm::ObjRef)> key_hash;
+  std::function<bool(jvm::Heap*, jvm::ObjRef, jvm::ObjRef)> key_equals;
+  /// Eager combiner: merges `value` into `agg` and returns the new
+  /// aggregate object. Like Spark's aggregator it may allocate a fresh
+  /// object per merge (the temporary-object churn the paper measures).
+  std::function<jvm::ObjRef(jvm::Heap*, jvm::ObjRef agg, jvm::ObjRef value)>
+      combine;
+  /// Estimated managed bytes of one (key, value) entry, for spill checks.
+  std::function<uint64_t(jvm::Heap*, jvm::ObjRef, jvm::ObjRef)> entry_bytes;
+  std::function<void(jvm::Heap*, jvm::ObjRef, ByteWriter*)> serialize_key;
+  std::function<void(jvm::Heap*, jvm::ObjRef, ByteWriter*)> serialize_value;
+  std::function<jvm::ObjRef(jvm::Heap*, ByteReader*)> deserialize_key;
+  std::function<jvm::ObjRef(jvm::Heap*, ByteReader*)> deserialize_value;
+
+  // -- decomposed (Deca) mode ----------------------------------------------
+  /// Fixed decomposed sizes (SFST keys/values; 0 disables the Deca path).
+  uint32_t deca_key_bytes = 0;
+  uint32_t deca_value_bytes = 0;
+  std::function<uint64_t(const uint8_t*)> deca_key_hash;
+  /// In-place merge of a decomposed value into the aggregate segment —
+  /// this is the paper's reuse of the old value's page segment, avoiding
+  /// per-merge allocation entirely.
+  std::function<void(uint8_t* agg, const uint8_t* value)> deca_combine;
+};
+
+}  // namespace deca::spark
+
+#endif  // DECA_SPARK_RECORD_OPS_H_

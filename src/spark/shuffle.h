@@ -1,0 +1,262 @@
+#ifndef DECA_SPARK_SHUFFLE_H_
+#define DECA_SPARK_SHUFFLE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/page.h"
+#include "jvm/heap.h"
+#include "spark/config.h"
+#include "spark/metrics.h"
+#include "spark/record_ops.h"
+
+namespace deca::spark {
+
+/// In-process stand-in for Spark's shuffle files + block transfer service:
+/// map tasks deposit per-reducer byte chunks; reduce tasks fetch all
+/// chunks for their partition. Chunks live in native memory (like OS page
+/// cache / disk in a real deployment), outside any executor heap.
+class ShuffleService {
+ public:
+  /// Registers a shuffle with `num_reducers` output partitions; returns
+  /// its id.
+  int RegisterShuffle(int num_reducers);
+
+  void PutChunk(int shuffle_id, int reducer, std::vector<uint8_t> bytes);
+
+  /// All chunks destined for `reducer`.
+  const std::vector<std::vector<uint8_t>>& GetChunks(int shuffle_id,
+                                                     int reducer) const;
+
+  int num_reducers(int shuffle_id) const;
+  uint64_t total_bytes(int shuffle_id) const;
+
+  /// Frees a completed shuffle's chunks.
+  void Release(int shuffle_id);
+
+ private:
+  struct ShuffleData {
+    int num_reducers = 0;
+    // per reducer: list of chunks
+    std::vector<std::vector<std::vector<uint8_t>>> chunks;
+  };
+  std::vector<ShuffleData> shuffles_;
+};
+
+/// Map-side hash shuffle buffer with eager combining, object mode: an
+/// open-addressing table whose key and aggregate-value entries are managed
+/// objects (Spark's AppendOnlyMap). Every combine allocates a fresh value
+/// object — the temporary-object churn of paper Section 4.2 case (2).
+class ObjectHashShuffleBuffer {
+ public:
+  ObjectHashShuffleBuffer(jvm::Heap* heap, const ShuffleOps* ops,
+                          uint32_t initial_capacity = 64);
+  ~ObjectHashShuffleBuffer();
+
+  /// Inserts (key, value), combining with the existing aggregate for the
+  /// key if present. Both refs must be rooted by the caller (handles).
+  void Insert(jvm::ObjRef key, jvm::ObjRef value);
+
+  /// Iterates all (key, aggregate) entries. `fn` must not allocate.
+  void ForEach(
+      const std::function<void(jvm::ObjRef key, jvm::ObjRef value)>& fn) const;
+
+  uint32_t size() const { return size_; }
+  uint64_t estimated_bytes() const { return estimated_bytes_; }
+
+  /// Drops all entries (spill flush): the table is reset to empty.
+  void Clear();
+
+ private:
+  void Grow();
+
+  jvm::Heap* heap_;
+  const ShuffleOps* ops_;
+  jvm::VectorRootProvider table_root_;  // holds the single table array ref
+  uint32_t capacity_;
+  uint32_t size_ = 0;
+  uint64_t estimated_bytes_ = 0;
+
+  jvm::ObjRef table() const { return table_root_.refs()[0]; }
+};
+
+/// Map-side hash shuffle buffer, Deca mode: decomposed SFST keys and
+/// values live as fixed-size segments in a page group; a native pointer
+/// array indexes them (paper Figure 6b). Combining reuses the aggregate's
+/// page segment in place — no allocation, no dead value objects.
+class DecaHashShuffleBuffer {
+ public:
+  DecaHashShuffleBuffer(jvm::Heap* heap, const ShuffleOps* ops,
+                        uint32_t page_bytes, uint32_t initial_capacity = 64);
+
+  /// Inserts a decomposed (key, value) pair, combining in place when the
+  /// key exists.
+  void Insert(const uint8_t* key, const uint8_t* value);
+
+  /// Iterates entries as raw segment bytes (key immediately followed by
+  /// value). `fn` must not allocate.
+  void ForEach(const std::function<void(const uint8_t* entry)>& fn) const;
+
+  uint32_t size() const { return size_; }
+  const core::PageGroup& pages() const { return *pages_; }
+  uint64_t estimated_bytes() const { return pages_->footprint_bytes(); }
+
+  void Clear();
+
+ private:
+  static constexpr core::SegPtr kEmpty{UINT32_MAX, UINT32_MAX};
+  void Grow();
+
+  jvm::Heap* heap_;
+  const ShuffleOps* ops_;
+  std::shared_ptr<core::PageGroup> pages_;
+  std::vector<core::SegPtr> slots_;  // native pointer array
+  uint32_t size_ = 0;
+  uint32_t entry_bytes_;
+};
+
+/// Map-side grouping buffer (groupByKey): keys map to managed ArrayBuffer
+/// values (an Object[] grown geometrically). The combining function only
+/// appends (paper Section 4.2 case (3)); the buffer itself is a VST and
+/// stays in object form even under Deca (partially decomposable scenario).
+class ObjectGroupByBuffer {
+ public:
+  ObjectGroupByBuffer(jvm::Heap* heap, const ShuffleOps* ops,
+                      uint32_t initial_capacity = 64);
+  ~ObjectGroupByBuffer();
+
+  void Insert(jvm::ObjRef key, jvm::ObjRef value);
+
+  /// Iterates groups: `values` is a managed Object[] whose first
+  /// `count` elements are the group's values.
+  void ForEach(const std::function<void(jvm::ObjRef key, jvm::ObjRef values,
+                                        uint32_t count)>& fn) const;
+
+  uint32_t size() const { return size_; }
+  uint64_t estimated_bytes() const { return estimated_bytes_; }
+
+ private:
+  void Grow();
+
+  jvm::Heap* heap_;
+  const ShuffleOps* ops_;
+  // refs[0] = key table (Object[]), refs[1] = value-array table (Object[]),
+  // per-slot value arrays have their length in counts_.
+  jvm::VectorRootProvider roots_;
+  std::vector<uint32_t> counts_;
+  uint32_t capacity_;
+  uint32_t size_ = 0;
+  uint64_t estimated_bytes_ = 0;
+
+  jvm::ObjRef keys() const { return roots_.refs()[0]; }
+  jvm::ObjRef vals() const { return roots_.refs()[1]; }
+};
+
+/// The static-offset variant of the Deca hash shuffle buffer (paper
+/// Section 4.3.2): when both Key and Value are SFSTs, the pointer array is
+/// unnecessary — the hash table *is* the page group, with slot addresses
+/// computed arithmetically (slot i lives at page i / slots_per_page,
+/// offset (i % slots_per_page) * slot_bytes). Each slot carries a one-byte
+/// occupancy tag.
+class DecaStaticHashShuffleBuffer {
+ public:
+  DecaStaticHashShuffleBuffer(jvm::Heap* heap, const ShuffleOps* ops,
+                              uint32_t page_bytes,
+                              uint32_t initial_capacity = 64);
+
+  void Insert(const uint8_t* key, const uint8_t* value);
+
+  /// Iterates entries as (key | value) byte spans.
+  void ForEach(const std::function<void(const uint8_t* entry)>& fn) const;
+
+  uint32_t size() const { return size_; }
+  uint64_t footprint_bytes() const { return pages_->footprint_bytes(); }
+
+ private:
+  uint8_t* Slot(uint32_t i) const {
+    return pages_->Resolve(
+        {i / slots_per_page_, (i % slots_per_page_) * slot_bytes_});
+  }
+  /// Builds a fully-materialized page group of `capacity` zeroed slots.
+  std::shared_ptr<core::PageGroup> MakeTable(uint32_t capacity);
+  void Grow();
+
+  jvm::Heap* heap_;
+  const ShuffleOps* ops_;
+  uint32_t page_bytes_;
+  uint32_t slot_bytes_;       // 1 (occupancy) + key + value, 8-aligned
+  uint32_t slots_per_page_;
+  uint32_t capacity_;
+  uint32_t size_ = 0;
+  std::shared_ptr<core::PageGroup> pages_;
+};
+
+/// Sort-based shuffle with disk spilling (paper Appendix C): records
+/// accumulate in a page group with a native pointer array; when the
+/// memory budget is exceeded the run is sorted and spilled to a file.
+/// The final pass streams a k-way merge of all spilled runs plus the
+/// in-memory run, holding only one record per run in memory (the paper's
+/// "small memory space, normally only one page" merge).
+class DecaSortSpillWriter {
+ public:
+  using Less = std::function<bool(const uint8_t*, const uint8_t*)>;
+
+  DecaSortSpillWriter(jvm::Heap* heap, uint32_t page_bytes,
+                      uint64_t memory_budget_bytes, std::string spill_dir,
+                      Less less);
+  ~DecaSortSpillWriter();
+
+  /// Appends one record; may sort + spill the current run to disk.
+  void Append(const uint8_t* data, uint32_t bytes);
+
+  /// Merges all runs in sorted order into `fn`. `spill_ms` (optional)
+  /// accumulates disk time.
+  void Merge(const std::function<void(const uint8_t*, uint32_t)>& fn,
+             double* spill_ms = nullptr);
+
+  uint32_t spill_count() const { return static_cast<uint32_t>(files_.size()); }
+  uint64_t spilled_bytes() const { return spilled_bytes_; }
+
+ private:
+  void SpillCurrentRun();
+
+  jvm::Heap* heap_;
+  uint32_t page_bytes_;
+  uint64_t budget_;
+  std::string dir_;
+  Less less_;
+  std::shared_ptr<core::PageGroup> pages_;
+  std::vector<std::pair<core::SegPtr, uint32_t>> entries_;
+  std::vector<std::string> files_;
+  uint64_t spilled_bytes_ = 0;
+};
+
+/// Sort-based shuffle buffer, Deca mode: records append to a page group
+/// and a native pointer array is sorted by key (paper Section 4.2 case
+/// (1) — references die only when the buffer is released).
+class DecaSortShuffleBuffer {
+ public:
+  DecaSortShuffleBuffer(jvm::Heap* heap, uint32_t page_bytes);
+
+  /// Appends a record segment; `bytes` must embed everything needed
+  /// downstream.
+  core::SegPtr Append(const uint8_t* data, uint32_t bytes);
+
+  /// Sorts the pointer array by `less` over the segment bytes and iterates
+  /// in order.
+  void SortAndVisit(
+      const std::function<bool(const uint8_t*, const uint8_t*)>& less,
+      const std::function<void(const uint8_t*, uint32_t bytes)>& fn);
+
+  uint32_t size() const { return static_cast<uint32_t>(entries_.size()); }
+
+ private:
+  std::shared_ptr<core::PageGroup> pages_;
+  std::vector<std::pair<core::SegPtr, uint32_t>> entries_;  // (seg, bytes)
+};
+
+}  // namespace deca::spark
+
+#endif  // DECA_SPARK_SHUFFLE_H_

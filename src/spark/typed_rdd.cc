@@ -1,0 +1,31 @@
+#include "spark/typed_rdd.h"
+
+namespace deca::spark {
+
+RecordAdapter<int64_t> MakeBoxedLongAdapter() {
+  RecordAdapter<int64_t> a;
+  a.to_managed = [](jvm::Heap* h, const int64_t& v) {
+    jvm::ObjRef r = h->AllocateInstance(h->registry()->boxed_long_class());
+    h->SetField<int64_t>(r, 0, v);
+    return r;
+  };
+  a.from_managed = [](jvm::Heap* h, jvm::ObjRef r) {
+    return h->GetField<int64_t>(r, 0);
+  };
+  return a;
+}
+
+RecordAdapter<double> MakeBoxedDoubleAdapter() {
+  RecordAdapter<double> a;
+  a.to_managed = [](jvm::Heap* h, const double& v) {
+    jvm::ObjRef r = h->AllocateInstance(h->registry()->boxed_double_class());
+    h->SetField<double>(r, 0, v);
+    return r;
+  };
+  a.from_managed = [](jvm::Heap* h, jvm::ObjRef r) {
+    return h->GetField<double>(r, 0);
+  };
+  return a;
+}
+
+}  // namespace deca::spark

@@ -1,0 +1,201 @@
+#ifndef DECA_SPARK_TYPED_RDD_H_
+#define DECA_SPARK_TYPED_RDD_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "spark/context.h"
+
+namespace deca::spark {
+
+/// Marshals one C++ value type T to/from a managed record. Applications
+/// define an adapter once per type; the typed dataset then keeps its data
+/// in the executors' managed heaps (so it is subject to real GC) while
+/// exposing plain C++ values to user lambdas.
+template <typename T>
+struct RecordAdapter {
+  std::function<jvm::ObjRef(jvm::Heap*, const T&)> to_managed;
+  std::function<T(jvm::Heap*, jvm::ObjRef)> from_managed;
+};
+
+/// A minimal typed dataset facade over the engine: the Spark verbs an
+/// application needs to get started (parallelize / map / filter / reduce /
+/// count / collect / cache). Data is partitioned across the context's
+/// executors and materialized as managed Object[] blocks pinned by GC
+/// roots; transformations run as stages with per-task metrics.
+///
+/// This is the "quickstart" API; the paper-fidelity workloads in
+/// src/workloads drive the engine directly for precise control over
+/// layouts and kernels.
+template <typename T>
+class TypedRdd {
+ public:
+  /// Distributes `values` round-robin over the context's partitions.
+  static TypedRdd Parallelize(SparkContext* ctx, RecordAdapter<T> adapter,
+                              const std::vector<T>& values) {
+    TypedRdd rdd(ctx, std::move(adapter));
+    int parts = ctx->num_partitions();
+    std::vector<std::vector<T>> sliced(static_cast<size_t>(parts));
+    for (size_t i = 0; i < values.size(); ++i) {
+      sliced[i % static_cast<size_t>(parts)].push_back(values[i]);
+    }
+    ctx->RunStage("parallelize", [&](TaskContext& tc) {
+      rdd.MaterializePartition(tc, sliced[static_cast<size_t>(
+                                       tc.partition())]);
+    });
+    return rdd;
+  }
+
+  /// Element-wise transformation into a new dataset.
+  template <typename U>
+  TypedRdd<U> Map(RecordAdapter<U> out_adapter,
+                  const std::function<U(const T&)>& fn) const {
+    TypedRdd<U> out(ctx_, std::move(out_adapter));
+    ctx_->RunStage("map", [&](TaskContext& tc) {
+      std::vector<U> result;
+      VisitPartition(tc, [&](const T& value) { result.push_back(fn(value)); });
+      out.MaterializePartition(tc, result);
+    });
+    return out;
+  }
+
+  /// Same-type convenience overload reusing this dataset's adapter.
+  TypedRdd Map(const std::function<T(const T&)>& fn) const {
+    return Map<T>(adapter_, fn);
+  }
+
+  /// Keeps only values satisfying the predicate.
+  TypedRdd Filter(const std::function<bool(const T&)>& pred) const {
+    TypedRdd out(ctx_, adapter_);
+    ctx_->RunStage("filter", [&](TaskContext& tc) {
+      std::vector<T> result;
+      VisitPartition(tc, [&](const T& value) {
+        if (pred(value)) result.push_back(value);
+      });
+      out.MaterializePartition(tc, result);
+    });
+    return out;
+  }
+
+  /// Folds all values with an associative function; `identity` seeds each
+  /// partition (driver-side final combine, like Spark's reduce action).
+  T Reduce(const T& identity,
+           const std::function<T(const T&, const T&)>& fn) const {
+    T total = identity;
+    ctx_->RunStage("reduce", [&](TaskContext& tc) {
+      T partial = identity;
+      VisitPartition(tc, [&](const T& value) { partial = fn(partial, value); });
+      total = fn(total, partial);
+    });
+    return total;
+  }
+
+  uint64_t Count() const {
+    uint64_t n = 0;
+    ctx_->RunStage("count", [&](TaskContext& tc) {
+      n += state_->counts[static_cast<size_t>(tc.partition())];
+    });
+    return n;
+  }
+
+  /// Gathers every value to the driver (partition order).
+  std::vector<T> Collect() const {
+    std::vector<T> all;
+    ctx_->RunStage("collect", [&](TaskContext& tc) {
+      VisitPartition(tc, [&](const T& value) { all.push_back(value); });
+    });
+    return all;
+  }
+
+  uint64_t num_values() const {
+    uint64_t n = 0;
+    for (uint32_t c : state_->counts) n += c;
+    return n;
+  }
+
+ private:
+  template <typename U>
+  friend class TypedRdd;
+
+  /// Per-executor pinned blocks (one Object[] per partition).
+  struct State {
+    explicit State(SparkContext* ctx) : context(ctx) {
+      providers.resize(static_cast<size_t>(ctx->num_executors()));
+      for (int e = 0; e < ctx->num_executors(); ++e) {
+        providers[static_cast<size_t>(e)] =
+            std::make_unique<jvm::VectorRootProvider>();
+        ctx->executor(e)->heap()->AddRootProvider(
+            providers[static_cast<size_t>(e)].get());
+        slot_of_partition.assign(
+            static_cast<size_t>(ctx->num_partitions()), SIZE_MAX);
+      }
+      counts.assign(static_cast<size_t>(ctx->num_partitions()), 0);
+    }
+    ~State() {
+      for (int e = 0; e < context->num_executors(); ++e) {
+        context->executor(e)->heap()->RemoveRootProvider(
+            providers[static_cast<size_t>(e)].get());
+      }
+    }
+    SparkContext* context;
+    std::vector<std::unique_ptr<jvm::VectorRootProvider>> providers;
+    std::vector<size_t> slot_of_partition;  // index into provider refs
+    std::vector<uint32_t> counts;
+  };
+
+  TypedRdd(SparkContext* ctx, RecordAdapter<T> adapter)
+      : ctx_(ctx),
+        adapter_(std::move(adapter)),
+        state_(std::make_shared<State>(ctx)) {}
+
+  void MaterializePartition(TaskContext& tc, const std::vector<T>& values) {
+    jvm::Heap* h = tc.heap();
+    jvm::HandleScope scope(h);
+    jvm::Handle arr = scope.Make(h->AllocateArray(
+        h->registry()->ref_array_class(),
+        static_cast<uint32_t>(values.size())));
+    for (size_t i = 0; i < values.size(); ++i) {
+      jvm::HandleScope inner(h);
+      jvm::ObjRef rec = adapter_.to_managed(h, values[i]);
+      h->SetRefElem(arr.get(), static_cast<uint32_t>(i), rec);
+    }
+    auto& refs =
+        state_->providers[static_cast<size_t>(tc.executor()->id())]->refs();
+    state_->slot_of_partition[static_cast<size_t>(tc.partition())] =
+        refs.size();
+    refs.push_back(arr.get());
+    state_->counts[static_cast<size_t>(tc.partition())] =
+        static_cast<uint32_t>(values.size());
+  }
+
+  void VisitPartition(TaskContext& tc,
+                      const std::function<void(const T&)>& fn) const {
+    size_t slot =
+        state_->slot_of_partition[static_cast<size_t>(tc.partition())];
+    uint32_t count = state_->counts[static_cast<size_t>(tc.partition())];
+    if (slot == SIZE_MAX || count == 0) return;
+    jvm::Heap* h = tc.heap();
+    auto& refs =
+        state_->providers[static_cast<size_t>(tc.executor()->id())]->refs();
+    for (uint32_t i = 0; i < count; ++i) {
+      // Re-resolve through the provider each iteration: from_managed may
+      // allocate and trigger a moving collection.
+      jvm::ObjRef arr = refs[slot];
+      fn(adapter_.from_managed(h, h->GetRefElem(arr, i)));
+    }
+  }
+
+  SparkContext* ctx_;
+  RecordAdapter<T> adapter_;
+  std::shared_ptr<State> state_;
+};
+
+/// Ready-made adapters for common primitive records.
+RecordAdapter<int64_t> MakeBoxedLongAdapter();
+RecordAdapter<double> MakeBoxedDoubleAdapter();
+
+}  // namespace deca::spark
+
+#endif  // DECA_SPARK_TYPED_RDD_H_

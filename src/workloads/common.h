@@ -1,0 +1,57 @@
+#ifndef DECA_WORKLOADS_COMMON_H_
+#define DECA_WORKLOADS_COMMON_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.h"
+#include "spark/context.h"
+
+namespace deca::workloads {
+
+/// Which system variant executes a workload (paper Section 6's
+/// Spark / SparkSer / Deca contenders).
+enum class Mode {
+  kSpark,     // deserialized object caching, object shuffle buffers
+  kSparkSer,  // Kryo-serialized caching (paper's "SparkSer")
+  kDeca,      // lifetime-based decomposed pages (cache + shuffle)
+};
+
+const char* ModeName(Mode m);
+
+/// Applies a mode to a SparkConfig (cache level + shuffle path).
+void ApplyMode(Mode mode, spark::SparkConfig* config);
+
+/// Common result record every workload reports; bench harnesses format
+/// these into the paper's tables and figure series.
+struct RunResult {
+  Mode mode = Mode::kSpark;
+  double exec_ms = 0;        // end-to-end (excluding data loading when the
+                             // paper excludes it)
+  double load_ms = 0;        // input loading/caching stage
+  double gc_ms = 0;          // total stop-the-world GC across executors
+  double concurrent_gc_ms = 0;
+  uint64_t minor_gcs = 0;
+  uint64_t full_gcs = 0;
+  double cached_mb = 0;      // peak in-memory cached data
+  double swapped_mb = 0;     // cache bytes swapped to disk
+  double shuffle_read_ms = 0;
+  double shuffle_write_ms = 0;
+  double ser_ms = 0;
+  double deser_ms = 0;
+  double spill_ms = 0;
+  double compute_ms = 0;
+  spark::TaskMetrics slowest_task;
+
+  // Optional lifetime profile (figures 8a / 9a): live tracked-object count
+  // and cumulative GC ms sampled over run time.
+  TimeSeries object_counts;
+  TimeSeries gc_series;
+};
+
+/// Fills the GC/cache/metric fields of `result` from a finished context.
+void FinalizeResult(spark::SparkContext* ctx, RunResult* result);
+
+}  // namespace deca::workloads
+
+#endif  // DECA_WORKLOADS_COMMON_H_

@@ -1,0 +1,65 @@
+#ifndef DECA_WORKLOADS_GRAPH_H_
+#define DECA_WORKLOADS_GRAPH_H_
+
+#include <cstdint>
+
+#include "core/planner.h"
+#include "workloads/common.h"
+
+namespace deca::workloads {
+
+/// The optimizer's decisions for the graph workloads' adjacency data,
+/// derived by running the paper's machinery end to end: phased
+/// classification of the grouped-value type (VST while the groupByKey
+/// buffer builds it, RFST once emitted to the cache — Section 3.4), then
+/// the container ownership/decomposability rules (Section 4.3). The
+/// expected outcome is the paper's Figure 7(b): the shuffle buffer keeps
+/// objects, the cached copy is decomposed.
+struct GraphPlan {
+  analysis::SizeType buffer_phase_size_type;  // during grouping
+  analysis::SizeType cache_phase_size_type;   // after materialization
+  core::ContainerLayout shuffle_layout;
+  core::ContainerLayout cache_layout;
+};
+
+/// Runs the classification + planning pipeline for the adjacency data.
+GraphPlan PlanAdjacencyContainers();
+
+/// Parameters for the two iterative graph benchmarks (paper Section 6.3).
+/// Graphs are RMAT-generated with power-law degrees; the paper's
+/// LiveJournal/WebBase/HiBench graphs are matched by vertex/edge counts.
+struct GraphParams {
+  uint64_t num_vertices = 1 << 16;
+  uint64_t num_edges = 1 << 20;
+  int iterations = 10;
+  Mode mode = Mode::kSpark;
+  spark::SparkConfig spark;
+  uint64_t seed = 7;
+};
+
+struct PageRankResult {
+  RunResult run;
+  double rank_sum = 0;           // sum of final ranks (validation)
+  uint64_t vertices_ranked = 0;  // vertices with at least one in-edge
+  uint64_t adjacency_records = 0;
+};
+
+/// PageRank: groupByKey builds cached adjacency lists (the paper's
+/// partially decomposable scenario, Figure 7b — the grouping shuffle
+/// buffer stays in object form, the cache copy is decomposed under Deca),
+/// then every iteration shuffles rank contributions with eager summing.
+PageRankResult RunPageRank(const GraphParams& params);
+
+struct ConnectedComponentsResult {
+  RunResult run;
+  uint64_t components = 0;  // distinct labels after `iterations` rounds
+  uint64_t label_updates = 0;
+};
+
+/// Connected components via iterative min-label propagation over the same
+/// cached adjacency structure.
+ConnectedComponentsResult RunConnectedComponents(const GraphParams& params);
+
+}  // namespace deca::workloads
+
+#endif  // DECA_WORKLOADS_GRAPH_H_

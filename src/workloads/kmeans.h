@@ -1,0 +1,27 @@
+#ifndef DECA_WORKLOADS_KMEANS_H_
+#define DECA_WORKLOADS_KMEANS_H_
+
+#include <vector>
+
+#include "workloads/common.h"
+#include "workloads/lr.h"
+
+namespace deca::workloads {
+
+struct KMeansResult {
+  RunResult run;
+  /// Final centroids (clusters x dims), for cross-mode validation.
+  std::vector<std::vector<double>> centers;
+};
+
+/// Runs the paper's KMeans benchmark: cached points plus an aggregated
+/// shuffle per iteration (Table 1: two stages, multiple jobs, static
+/// cache, aggregated shuffle). The per-cluster partial aggregates are
+/// (sum vector, count) pairs — SFST values that Deca combines in place in
+/// its shuffle pages, while Spark allocates a fresh aggregate object per
+/// merge.
+KMeansResult RunKMeans(const MlParams& params);
+
+}  // namespace deca::workloads
+
+#endif  // DECA_WORKLOADS_KMEANS_H_

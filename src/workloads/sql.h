@@ -1,0 +1,54 @@
+#ifndef DECA_WORKLOADS_SQL_H_
+#define DECA_WORKLOADS_SQL_H_
+
+#include <cstdint>
+
+#include "workloads/common.h"
+
+namespace deca::workloads {
+
+/// The three contenders of the paper's Table 6.
+enum class SqlEngine {
+  kSparkRdd,   // hand-written RDD program over row objects
+  kSparkSql,   // columnar in-memory tables + serialized aggregation
+               // (Spark SQL with Tungsten)
+  kDeca,       // row-wise decomposed pages + decomposed shuffle
+};
+
+const char* SqlEngineName(SqlEngine e);
+
+/// Scaled-down AMPLab Big Data Benchmark tables (the paper samples the
+/// Common Crawl corpus; we generate rows with the same schema shape:
+/// fixed-width URL/IP strings, uniform ranks and revenues).
+struct SqlParams {
+  uint64_t rankings_rows = 200000;
+  uint64_t uservisits_rows = 600000;
+  int rank_threshold = 100;  // Query 1 predicate: pageRank > threshold
+  SqlEngine engine = SqlEngine::kSparkRdd;
+  spark::SparkConfig spark;
+  uint64_t seed = 2016;
+};
+
+struct SqlResult {
+  RunResult run;
+  uint64_t q1_matches = 0;     // rows passing the Query 1 filter
+  double q1_rank_sum = 0;      // checksum of selected pageRanks
+  uint64_t q2_groups = 0;      // distinct SUBSTR(sourceIP, 1, 5) groups
+  double q2_revenue_sum = 0;   // total aggregated adRevenue
+  double q1_exec_ms = 0;
+  double q2_exec_ms = 0;
+  double q1_gc_ms = 0;
+  double q2_gc_ms = 0;
+  double cached_mb = 0;
+};
+
+/// Runs both exploratory queries of paper Section 6.6 against fully
+/// cached tables:
+///   Q1: SELECT pageURL, pageRank FROM rankings WHERE pageRank > 100
+///   Q2: SELECT SUBSTR(sourceIP,1,5), SUM(adRevenue) FROM uservisits
+///       GROUP BY SUBSTR(sourceIP,1,5)
+SqlResult RunSqlQueries(const SqlParams& params);
+
+}  // namespace deca::workloads
+
+#endif  // DECA_WORKLOADS_SQL_H_

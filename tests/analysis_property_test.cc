@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "analysis/global_classifier.h"
+#include "analysis/local_classifier.h"
+#include "common/random.h"
+#include "core/sudt_layout.h"
+
+namespace deca::analysis {
+namespace {
+
+using jvm::FieldKind;
+
+/// Random annotated-type generator: builds acyclic type trees out of
+/// primitives, final/non-final class fields, and primitive arrays.
+struct RandomTypeGen {
+  RandomTypeGen(TypeUniverse* u, uint64_t seed) : universe(u), rng(seed) {}
+
+  const UdtType* Primitive() {
+    static const FieldKind kinds[] = {FieldKind::kInt, FieldKind::kLong,
+                                      FieldKind::kDouble, FieldKind::kByte,
+                                      FieldKind::kFloat};
+    return universe->Primitive(kinds[rng.NextBounded(5)]);
+  }
+
+  const UdtType* Array() {
+    return universe->DefineArray("arr" + std::to_string(++counter),
+                                 {Primitive()});
+  }
+
+  /// depth-bounded random class; `allow_arrays` controls whether RFST
+  /// parts may appear.
+  const UdtType* Class(int depth, bool allow_arrays, bool all_final) {
+    UdtType* cls =
+        universe->DefineClass("cls" + std::to_string(++counter));
+    uint64_t nfields = 1 + rng.NextBounded(4);
+    for (uint64_t i = 0; i < nfields; ++i) {
+      std::string name = "f" + std::to_string(i);
+      uint64_t pick = rng.NextBounded(depth > 0 ? 3 : 1);
+      bool is_final = all_final || rng.NextBounded(2) == 0;
+      if (pick == 0) {
+        universe->AddField(cls, name, is_final, {Primitive()});
+      } else if (pick == 1 && allow_arrays) {
+        universe->AddField(cls, name, is_final, {Array()});
+      } else {
+        universe->AddField(cls, name, is_final,
+                           {Class(depth - 1, allow_arrays, all_final)});
+      }
+    }
+    return cls;
+  }
+
+  TypeUniverse* universe;
+  Rng rng;
+  int counter = 0;
+};
+
+class ClassifierPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ClassifierPropertyTest, PrimitiveOnlyTreesAreAlwaysSfst) {
+  TypeUniverse u;
+  RandomTypeGen gen(&u, GetParam());
+  const UdtType* t = gen.Class(3, /*allow_arrays=*/false, false);
+  LocalClassifier local;
+  EXPECT_EQ(local.Classify(t), SizeType::kStaticFixed);
+}
+
+TEST_P(ClassifierPropertyTest, VariabilityOrderIsMonotonic) {
+  // Adding a non-final array-holding field to any type can only increase
+  // (never decrease) its variability.
+  TypeUniverse u;
+  RandomTypeGen gen(&u, GetParam() * 31);
+  UdtType* t = u.DefineClass("subject");
+  u.AddField(t, "base", true, {gen.Class(2, true, true)});
+  LocalClassifier local;
+  SizeType before = local.Classify(t);
+  u.AddField(t, "vst_field", /*is_final=*/false, {gen.Array()});
+  SizeType after = local.Classify(t);
+  EXPECT_GE(static_cast<int>(after), static_cast<int>(before));
+  EXPECT_EQ(after, SizeType::kVariable);
+}
+
+TEST_P(ClassifierPropertyTest, GlobalNeverCoarserThanLocal) {
+  // The global classifier may only refine (reduce variability), never
+  // worsen it.
+  TypeUniverse u;
+  RandomTypeGen gen(&u, GetParam() * 77);
+  const UdtType* t = gen.Class(3, true, false);
+  LocalClassifier local;
+  CallGraph empty_cg;
+  MethodInfo main;
+  main.name = "main";
+  empty_cg.AddMethod(main);
+  empty_cg.SetEntry("main");
+  GlobalClassifier global(&empty_cg);
+  SizeType l = local.Classify(t);
+  SizeType g = global.Classify(t);
+  if (l == SizeType::kRecurDef) {
+    EXPECT_EQ(g, SizeType::kRecurDef);
+  } else {
+    EXPECT_LE(static_cast<int>(g), static_cast<int>(l));
+  }
+}
+
+TEST_P(ClassifierPropertyTest, SfstLayoutSizeMatchesLeafSum) {
+  // For SFST trees (all-final, no arrays) the synthesized layout's static
+  // size must equal the sum of primitive leaf widths — the paper's
+  // data-size definition.
+  TypeUniverse u;
+  RandomTypeGen gen(&u, GetParam() * 13);
+  const UdtType* t = gen.Class(3, /*allow_arrays=*/false, true);
+  LocalClassifier local;
+  ASSERT_EQ(local.Classify(t), SizeType::kStaticFixed);
+  core::SudtLayout layout = core::SudtLayout::Build(t, core::LengthResolver());
+  // Independently sum leaf widths.
+  std::function<uint32_t(const UdtType*)> leaf_sum =
+      [&](const UdtType* ty) -> uint32_t {
+    if (ty->is_primitive()) return jvm::FieldKindBytes(ty->primitive_kind());
+    uint32_t total = 0;
+    for (const auto& f : ty->fields()) total += leaf_sum(f.type_set[0]);
+    return total;
+  };
+  EXPECT_EQ(layout.static_size(), leaf_sum(t));
+  // Offsets are dense and non-overlapping.
+  uint32_t expected_offset = 0;
+  for (const auto& f : layout.fixed_fields()) {
+    EXPECT_EQ(f.offset, expected_offset);
+    expected_offset += jvm::FieldKindBytes(f.kind) * f.count;
+  }
+}
+
+TEST_P(ClassifierPropertyTest, FixedLengthEvidenceRefinesRandomTree) {
+  // Take a tree with exactly one array leaf; with a single constant-length
+  // allocation site the global classifier must reach SFST, and the layout
+  // must account length*elem bytes for it.
+  TypeUniverse u;
+  Rng rng(GetParam() * 7);
+  const UdtType* arr =
+      u.DefineArray("data[]", {u.Primitive(FieldKind::kDouble)});
+  UdtType* inner = u.DefineClass("Inner");
+  u.AddField(inner, "data", true, {arr});
+  UdtType* outer = u.DefineClass("Outer");
+  u.AddField(outer, "tag", false, {u.Primitive(FieldKind::kLong)});
+  u.AddField(outer, "inner", true, {inner});
+
+  uint32_t len = 1 + static_cast<uint32_t>(rng.NextBounded(64));
+  CallGraph cg;
+  MethodInfo main;
+  main.name = "main";
+  main.statements.push_back({Statement::Kind::kNewArrayAssign,
+                             {inner, "data"},
+                             arr,
+                             SymExpr::Constant(len),
+                             ""});
+  cg.AddMethod(main);
+  cg.SetEntry("main");
+  GlobalClassifier global(&cg);
+  ASSERT_EQ(global.Classify(outer), SizeType::kStaticFixed);
+
+  core::LengthResolver lengths;
+  lengths.SetFixedLength(inner, "data", len);
+  core::SudtLayout layout = core::SudtLayout::Build(outer, lengths);
+  EXPECT_EQ(layout.static_size(), 8u + 8u * len);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClassifierPropertyTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace deca::analysis

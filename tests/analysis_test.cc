@@ -1,0 +1,456 @@
+#include <gtest/gtest.h>
+
+#include "analysis/global_classifier.h"
+#include "analysis/local_classifier.h"
+#include "analysis/method_ir.h"
+#include "analysis/sym_expr.h"
+
+namespace deca::analysis {
+namespace {
+
+using jvm::FieldKind;
+
+TEST(SymExprTest, ConstantsAndArithmetic) {
+  SymExpr a = SymExpr::Constant(2);
+  SymExpr b = SymExpr::Constant(3);
+  EXPECT_TRUE((a + b).IsConstant());
+  EXPECT_EQ((a + b).ConstantValue(), 5);
+  EXPECT_EQ((a * 4).ConstantValue(), 8);
+  EXPECT_EQ((a - b).ConstantValue(), -1);
+}
+
+TEST(SymExprTest, PaperFigure4Example) {
+  // val a = input.readString().toInt()  // a == Symbol(1)
+  // val b = 2 + a - 1                   // b == Symbol(1) + 1
+  // val c = a + 1                       // c == Symbol(1) + 1
+  SymExpr a = SymExpr::Symbol(1);
+  SymExpr b = SymExpr::Constant(2) + a - SymExpr::Constant(1);
+  SymExpr c = a + SymExpr::Constant(1);
+  EXPECT_TRUE(b.EquivalentTo(c));
+  EXPECT_FALSE(b.EquivalentTo(a));
+}
+
+TEST(SymExprTest, DifferentSymbolsNotEquivalent) {
+  SymExpr s1 = SymExpr::Symbol(1);
+  SymExpr s2 = SymExpr::Symbol(2);
+  EXPECT_FALSE(s1.EquivalentTo(s2));
+  EXPECT_TRUE((s1 + s2).EquivalentTo(s2 + s1));
+  // s1 - s1 cancels to a constant.
+  EXPECT_TRUE((s1 - s1).IsConstant());
+}
+
+TEST(SymExprTest, UnknownNeverEquivalent) {
+  SymExpr u = SymExpr::Unknown();
+  EXPECT_FALSE(u.EquivalentTo(u));
+  EXPECT_TRUE((u + SymExpr::Constant(1)).is_unknown());
+}
+
+// -- local classification -----------------------------------------------------
+
+class ClassifierTest : public ::testing::Test {
+ protected:
+  TypeUniverse u_;
+  LocalClassifier local_;
+};
+
+TEST_F(ClassifierTest, PrimitiveIsSfst) {
+  EXPECT_EQ(local_.Classify(u_.Primitive(FieldKind::kDouble)),
+            SizeType::kStaticFixed);
+}
+
+TEST_F(ClassifierTest, AllPrimitiveFieldsIsSfst) {
+  UdtType* point = u_.DefineClass("Point");
+  u_.AddField(point, "x", false, {u_.Primitive(FieldKind::kDouble)});
+  u_.AddField(point, "y", false, {u_.Primitive(FieldKind::kDouble)});
+  EXPECT_EQ(local_.Classify(point), SizeType::kStaticFixed);
+}
+
+TEST_F(ClassifierTest, PrimitiveArrayIsRfst) {
+  const UdtType* arr =
+      u_.DefineArray("double[]", {u_.Primitive(FieldKind::kDouble)});
+  EXPECT_EQ(local_.Classify(arr), SizeType::kRuntimeFixed);
+}
+
+TEST_F(ClassifierTest, ArrayOfArraysIsVst) {
+  const UdtType* inner =
+      u_.DefineArray("double[]", {u_.Primitive(FieldKind::kDouble)});
+  const UdtType* outer = u_.DefineArray("double[][]", {inner});
+  EXPECT_EQ(local_.Classify(outer), SizeType::kVariable);
+}
+
+TEST_F(ClassifierTest, FinalArrayFieldIsRfst) {
+  const UdtType* arr =
+      u_.DefineArray("double[]", {u_.Primitive(FieldKind::kDouble)});
+  UdtType* holder = u_.DefineClass("Holder");
+  u_.AddField(holder, "data", /*is_final=*/true, {arr});
+  EXPECT_EQ(local_.Classify(holder), SizeType::kRuntimeFixed);
+}
+
+TEST_F(ClassifierTest, NonFinalArrayFieldIsVst) {
+  const UdtType* arr =
+      u_.DefineArray("double[]", {u_.Primitive(FieldKind::kDouble)});
+  UdtType* holder = u_.DefineClass("Holder");
+  u_.AddField(holder, "data", /*is_final=*/false, {arr});
+  EXPECT_EQ(local_.Classify(holder), SizeType::kVariable);
+}
+
+TEST_F(ClassifierTest, RecursiveTypeDetected) {
+  UdtType* node = u_.DefineClass("ListNode");
+  u_.AddField(node, "value", false, {u_.Primitive(FieldKind::kInt)});
+  u_.AddField(node, "next", false, {node});
+  EXPECT_EQ(local_.Classify(node), SizeType::kRecurDef);
+}
+
+TEST_F(ClassifierTest, MutualRecursionDetected) {
+  UdtType* a = u_.DefineClass("A");
+  UdtType* b = u_.DefineClass("B");
+  u_.AddField(a, "b", false, {b});
+  u_.AddField(b, "a", false, {a});
+  EXPECT_EQ(local_.Classify(a), SizeType::kRecurDef);
+  EXPECT_EQ(local_.Classify(b), SizeType::kRecurDef);
+}
+
+TEST_F(ClassifierTest, SharedDiamondIsNotRecursive) {
+  // A -> {B, C}, B -> D, C -> D: shared but acyclic.
+  UdtType* d = u_.DefineClass("D");
+  u_.AddField(d, "v", false, {u_.Primitive(FieldKind::kLong)});
+  UdtType* b = u_.DefineClass("B");
+  u_.AddField(b, "d", false, {d});
+  UdtType* c = u_.DefineClass("C");
+  u_.AddField(c, "d", false, {d});
+  UdtType* a = u_.DefineClass("A");
+  u_.AddField(a, "b", false, {b});
+  u_.AddField(a, "c", false, {c});
+  EXPECT_EQ(local_.Classify(a), SizeType::kStaticFixed);
+}
+
+/// Builds the paper's running example (Figures 1 and 3):
+///   class DenseVector(val data: Array[Double], offset/stride/length: Int)
+///   class LabeledPoint(var label: Double, var features: Vector[Double])
+struct LabeledPointModel {
+  explicit LabeledPointModel(TypeUniverse* u) {
+    data_array = u->DefineArray("Array[Double]",
+                                {u->Primitive(FieldKind::kDouble)});
+    dense_vector = u->DefineClass("DenseVector");
+    u->AddField(dense_vector, "data", /*is_final=*/true, {data_array});
+    u->AddField(dense_vector, "offset", false,
+                {u->Primitive(FieldKind::kInt)});
+    u->AddField(dense_vector, "stride", false,
+                {u->Primitive(FieldKind::kInt)});
+    u->AddField(dense_vector, "length", false,
+                {u->Primitive(FieldKind::kInt)});
+    labeled_point = u->DefineClass("LabeledPoint");
+    u->AddField(labeled_point, "label", false,
+                {u->Primitive(FieldKind::kDouble)});
+    u->AddField(labeled_point, "features", /*is_final=*/false,
+                {dense_vector});
+  }
+
+  const UdtType* data_array;
+  UdtType* dense_vector;
+  UdtType* labeled_point;
+};
+
+TEST_F(ClassifierTest, PaperLabeledPointLocallyVst) {
+  LabeledPointModel m(&u_);
+  // Section 3.2: "both features and LabeledPoint belong to VST".
+  EXPECT_EQ(local_.Classify(m.dense_vector), SizeType::kRuntimeFixed);
+  EXPECT_EQ(local_.Classify(m.labeled_point), SizeType::kVariable);
+}
+
+// -- global classification ----------------------------------------------------
+
+TEST_F(ClassifierTest, PaperLabeledPointGloballySfst) {
+  LabeledPointModel m(&u_);
+  // The LR map UDF: `new LabeledPoint(new DenseVector(new Array[Double](D)),
+  // label)` with global constant D (paper Section 3.3).
+  CallGraph cg;
+  MethodInfo map_udf;
+  map_udf.name = "LR.map";
+  map_udf.statements.push_back(
+      {Statement::Kind::kCall, {}, nullptr, {}, "LabeledPoint.<init>"});
+  MethodInfo lp_ctor;
+  lp_ctor.name = "LabeledPoint.<init>";
+  lp_ctor.ctor_of = m.labeled_point;
+  lp_ctor.statements.push_back({Statement::Kind::kFieldAssign,
+                                {m.labeled_point, "features"},
+                                nullptr,
+                                {},
+                                ""});
+  lp_ctor.statements.push_back(
+      {Statement::Kind::kCall, {}, nullptr, {}, "DenseVector.<init>"});
+  MethodInfo dv_ctor;
+  dv_ctor.name = "DenseVector.<init>";
+  dv_ctor.ctor_of = m.dense_vector;
+  dv_ctor.statements.push_back({Statement::Kind::kNewArrayAssign,
+                                {m.dense_vector, "data"},
+                                m.data_array,
+                                SymExpr::Constant(10),
+                                ""});
+  cg.AddMethod(map_udf);
+  cg.AddMethod(lp_ctor);
+  cg.AddMethod(dv_ctor);
+  cg.SetEntry("LR.map");
+
+  GlobalClassifier global(&cg);
+  EXPECT_EQ(global.Classify(m.labeled_point), SizeType::kStaticFixed);
+  EXPECT_EQ(global.Classify(m.dense_vector), SizeType::kStaticFixed);
+}
+
+TEST_F(ClassifierTest, DifferentAllocationLengthsStayRfst) {
+  LabeledPointModel m(&u_);
+  CallGraph cg;
+  MethodInfo entry;
+  entry.name = "main";
+  // Two allocation sites with different lengths: not fixed-length.
+  entry.statements.push_back({Statement::Kind::kNewArrayAssign,
+                              {m.dense_vector, "data"},
+                              m.data_array,
+                              SymExpr::Constant(10),
+                              ""});
+  entry.statements.push_back({Statement::Kind::kNewArrayAssign,
+                              {m.dense_vector, "data"},
+                              m.data_array,
+                              SymExpr::Constant(20),
+                              ""});
+  // `features` assigned only in the constructor.
+  MethodInfo lp_ctor;
+  lp_ctor.name = "LabeledPoint.<init>";
+  lp_ctor.ctor_of = m.labeled_point;
+  lp_ctor.statements.push_back({Statement::Kind::kFieldAssign,
+                                {m.labeled_point, "features"},
+                                nullptr,
+                                {},
+                                ""});
+  entry.statements.push_back(
+      {Statement::Kind::kCall, {}, nullptr, {}, "LabeledPoint.<init>"});
+  cg.AddMethod(entry);
+  cg.AddMethod(lp_ctor);
+  cg.SetEntry("main");
+
+  GlobalClassifier global(&cg);
+  // DenseVector cannot be SFST (lengths differ) but data is final, so it
+  // stays RFST; LabeledPoint.features is init-only, so RRefine succeeds.
+  EXPECT_EQ(global.Classify(m.dense_vector), SizeType::kRuntimeFixed);
+  EXPECT_EQ(global.Classify(m.labeled_point), SizeType::kRuntimeFixed);
+}
+
+TEST_F(ClassifierTest, ReassignedFieldStaysVst) {
+  LabeledPointModel m(&u_);
+  CallGraph cg;
+  MethodInfo entry;
+  entry.name = "main";
+  // `features` reassigned outside any constructor: not init-only.
+  entry.statements.push_back({Statement::Kind::kFieldAssign,
+                              {m.labeled_point, "features"},
+                              nullptr,
+                              {},
+                              ""});
+  cg.AddMethod(entry);
+  cg.SetEntry("main");
+  GlobalClassifier global(&cg);
+  EXPECT_EQ(global.Classify(m.labeled_point), SizeType::kVariable);
+}
+
+TEST_F(ClassifierTest, SymbolicButEqualLengthsRefineToSfst) {
+  // Paper Figure 4: lengths `2 + a - 1` and `a + 1` are provably equal even
+  // though `a` is unknown at optimization time.
+  LabeledPointModel m(&u_);
+  SymExpr a = SymExpr::Symbol(1);
+  CallGraph cg;
+  MethodInfo entry;
+  entry.name = "main";
+  entry.statements.push_back({Statement::Kind::kNewArrayAssign,
+                              {m.dense_vector, "data"},
+                              m.data_array,
+                              SymExpr::Constant(2) + a - SymExpr::Constant(1),
+                              ""});
+  entry.statements.push_back({Statement::Kind::kNewArrayAssign,
+                              {m.dense_vector, "data"},
+                              m.data_array,
+                              a + SymExpr::Constant(1),
+                              ""});
+  MethodInfo lp_ctor;
+  lp_ctor.name = "LabeledPoint.<init>";
+  lp_ctor.ctor_of = m.labeled_point;
+  lp_ctor.statements.push_back({Statement::Kind::kFieldAssign,
+                                {m.labeled_point, "features"},
+                                nullptr,
+                                {},
+                                ""});
+  entry.statements.push_back(
+      {Statement::Kind::kCall, {}, nullptr, {}, "LabeledPoint.<init>"});
+  cg.AddMethod(entry);
+  cg.AddMethod(lp_ctor);
+  cg.SetEntry("main");
+  GlobalClassifier global(&cg);
+  EXPECT_EQ(global.Classify(m.labeled_point), SizeType::kStaticFixed);
+}
+
+TEST_F(ClassifierTest, UnreachableMethodsIgnored) {
+  LabeledPointModel m(&u_);
+  CallGraph cg;
+  MethodInfo entry;
+  entry.name = "main";
+  entry.statements.push_back({Statement::Kind::kNewArrayAssign,
+                              {m.dense_vector, "data"},
+                              m.data_array,
+                              SymExpr::Constant(10),
+                              ""});
+  // A method that would break fixed-length, but is never called.
+  MethodInfo rogue;
+  rogue.name = "rogue";
+  rogue.statements.push_back({Statement::Kind::kNewArrayAssign,
+                              {m.dense_vector, "data"},
+                              m.data_array,
+                              SymExpr::Constant(99),
+                              ""});
+  MethodInfo lp_ctor;
+  lp_ctor.name = "LabeledPoint.<init>";
+  lp_ctor.ctor_of = m.labeled_point;
+  lp_ctor.statements.push_back({Statement::Kind::kFieldAssign,
+                                {m.labeled_point, "features"},
+                                nullptr,
+                                {},
+                                ""});
+  entry.statements.push_back(
+      {Statement::Kind::kCall, {}, nullptr, {}, "LabeledPoint.<init>"});
+  cg.AddMethod(entry);
+  cg.AddMethod(rogue);
+  cg.AddMethod(lp_ctor);
+  cg.SetEntry("main");
+  GlobalClassifier global(&cg);
+  EXPECT_EQ(global.Classify(m.labeled_point), SizeType::kStaticFixed);
+}
+
+TEST_F(ClassifierTest, DoubleAssignmentInCtorChainNotInitOnly) {
+  UdtType* box = u_.DefineClass("Box");
+  const UdtType* arr =
+      u_.DefineArray("int[]", {u_.Primitive(FieldKind::kInt)});
+  u_.AddField(box, "payload", false, {arr});
+  CallGraph cg;
+  MethodInfo ctor;
+  ctor.name = "Box.<init>";
+  ctor.ctor_of = box;
+  ctor.statements.push_back({Statement::Kind::kFieldAssign,
+                             {box, "payload"},
+                             nullptr,
+                             {},
+                             ""});
+  ctor.statements.push_back(
+      {Statement::Kind::kCall, {}, nullptr, {}, "Box.helper"});
+  MethodInfo helper;
+  helper.name = "Box.helper";
+  helper.statements.push_back({Statement::Kind::kFieldAssign,
+                               {box, "payload"},
+                               nullptr,
+                               {},
+                               ""});
+  MethodInfo entry;
+  entry.name = "main";
+  entry.statements.push_back(
+      {Statement::Kind::kCall, {}, nullptr, {}, "Box.<init>"});
+  cg.AddMethod(entry);
+  cg.AddMethod(ctor);
+  cg.AddMethod(helper);
+  cg.SetEntry("main");
+  EXPECT_FALSE(cg.IsInitOnly({box, "payload"}));
+}
+
+TEST_F(ClassifierTest, RecursiveTypeNeverRefined) {
+  UdtType* node = u_.DefineClass("Node");
+  u_.AddField(node, "next", true, {node});
+  CallGraph cg;
+  MethodInfo entry;
+  entry.name = "main";
+  cg.AddMethod(entry);
+  cg.SetEntry("main");
+  GlobalClassifier global(&cg);
+  EXPECT_EQ(global.Classify(node), SizeType::kRecurDef);
+}
+
+
+TEST_F(ClassifierTest, PointsToInferenceCollectsAllocationSites) {
+  LabeledPointModel m(&u_);
+  const UdtType* sparse = u_.DefineClass("SparseVector");
+  CallGraph cg;
+  MethodInfo entry;
+  entry.name = "main";
+  entry.statements.push_back({Statement::Kind::kNewObjectAssign,
+                              {m.labeled_point, "features"},
+                              m.dense_vector,
+                              {},
+                              ""});
+  entry.statements.push_back({Statement::Kind::kNewObjectAssign,
+                              {m.labeled_point, "features"},
+                              sparse,
+                              {},
+                              ""});
+  // Duplicate site: not repeated in the set.
+  entry.statements.push_back({Statement::Kind::kNewObjectAssign,
+                              {m.labeled_point, "features"},
+                              m.dense_vector,
+                              {},
+                              ""});
+  cg.AddMethod(entry);
+  cg.SetEntry("main");
+  auto types = cg.InferTypeSet({m.labeled_point, "features"});
+  ASSERT_EQ(types.size(), 2u);
+  EXPECT_EQ(types[0], m.dense_vector);
+  EXPECT_EQ(types[1], sparse);
+  // A field never allocated to yields the empty set.
+  EXPECT_TRUE(cg.InferTypeSet({m.labeled_point, "label"}).empty());
+}
+
+TEST_F(ClassifierTest, PolymorphicTypeSetMakesFieldVariable) {
+  // The paper's SparseVector remark (Section 3.2): with both DenseVector
+  // and SparseVector in `features`' type-set, the field cannot be SFST.
+  LabeledPointModel m(&u_);
+  auto* sparse = u_.DefineClass("SparseVector");
+  const auto* iarr =
+      u_.DefineArray("Array[Int]", {u_.Primitive(FieldKind::kInt)});
+  u_.AddField(sparse, "indices", /*is_final=*/false, {iarr});
+  UdtType* lp2 = u_.DefineClass("LabeledPoint2");
+  u_.AddField(lp2, "label", false, {u_.Primitive(FieldKind::kDouble)});
+  u_.AddField(lp2, "features", false, {m.dense_vector, sparse});
+  EXPECT_EQ(local_.Classify(lp2), SizeType::kVariable);
+}
+
+// -- phased refinement --------------------------------------------------------
+
+TEST_F(ClassifierTest, PhasedRefinementVstBecomesRfstLater) {
+  // Phase 0 reassigns `features` (building phase); phase 1 never touches
+  // it. The paper's Section 3.4 pattern: VST while being built, RFST once
+  // emitted to a materialized container.
+  LabeledPointModel m(&u_);
+  CallGraph phase0;
+  {
+    MethodInfo entry;
+    entry.name = "phase0";
+    entry.statements.push_back({Statement::Kind::kFieldAssign,
+                                {m.labeled_point, "features"},
+                                nullptr,
+                                {},
+                                ""});
+    phase0.AddMethod(entry);
+    phase0.SetEntry("phase0");
+  }
+  CallGraph phase1;
+  {
+    MethodInfo entry;
+    entry.name = "phase1";  // read-only phase
+    phase1.AddMethod(entry);
+    phase1.SetEntry("phase1");
+  }
+  PhasedRefinement phased({&phase0, &phase1});
+  EXPECT_EQ(phased.ClassifyInPhase(m.labeled_point, 0), SizeType::kVariable);
+  EXPECT_EQ(phased.ClassifyInPhase(m.labeled_point, 1),
+            SizeType::kRuntimeFixed);
+  auto all = phased.ClassifyAllPhases(m.labeled_point);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], SizeType::kVariable);
+  EXPECT_EQ(all[1], SizeType::kRuntimeFixed);
+}
+
+}  // namespace
+}  // namespace deca::analysis

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "analysis/udt_type.h"
+#include "core/sudt_codegen.h"
+
+namespace deca::core {
+namespace {
+
+using jvm::FieldKind;
+
+TEST(SudtCodegenTest, SfstAccessorHasConstexprOffsets) {
+  analysis::TypeUniverse u;
+  const auto* darr =
+      u.DefineArray("Array[Double]", {u.Primitive(FieldKind::kDouble)});
+  auto* dv = u.DefineClass("DenseVector");
+  u.AddField(dv, "data", true, {darr});
+  auto* lp = u.DefineClass("LabeledPoint");
+  u.AddField(lp, "label", false, {u.Primitive(FieldKind::kDouble)});
+  u.AddField(lp, "features", false, {dv});
+  LengthResolver lengths;
+  lengths.SetFixedLength(dv, "data", 10);
+  SudtLayout layout = SudtLayout::Build(lp, lengths);
+
+  std::string code = GenerateSudtAccessor("LabeledPointView", layout);
+  EXPECT_NE(code.find("struct LabeledPointView"), std::string::npos);
+  EXPECT_NE(code.find("k_label_offset = 0"), std::string::npos);
+  EXPECT_NE(code.find("k_features_data_offset = 8"), std::string::npos);
+  EXPECT_NE(code.find("k_features_data_count = 10"), std::string::npos);
+  EXPECT_NE(code.find("kRecordBytes = 88"), std::string::npos);
+  // Scalar getter reads at the constant offset; array getter scales by the
+  // element width.
+  EXPECT_NE(code.find("LoadRaw<double>(base + 0)"), std::string::npos);
+  EXPECT_NE(code.find("base + 8 + i * 8"), std::string::npos);
+}
+
+TEST(SudtCodegenTest, RfstAccessorComputesRuntimeOffsets) {
+  analysis::TypeUniverse u;
+  const auto* larr =
+      u.DefineArray("Array[Long]", {u.Primitive(FieldKind::kLong)});
+  auto* adj = u.DefineClass("Adjacency");
+  u.AddField(adj, "vertex", false, {u.Primitive(FieldKind::kLong)});
+  u.AddField(adj, "neighbors", true, {larr});
+  SudtLayout layout = SudtLayout::Build(adj, LengthResolver());
+
+  std::string code = GenerateSudtAccessor("AdjacencyView", layout);
+  EXPECT_NE(code.find("kFixedBytes = 8"), std::string::npos);
+  EXPECT_NE(code.find("var_offset"), std::string::npos);
+  EXPECT_NE(code.find("neighbors_length()"), std::string::npos);
+  EXPECT_NE(code.find("record_bytes()"), std::string::npos);
+  // No static record size for RFSTs.
+  EXPECT_EQ(code.find("kRecordBytes"), std::string::npos);
+}
+
+TEST(SudtCodegenTest, PathsBecomeValidIdentifiers) {
+  analysis::TypeUniverse u;
+  auto* inner = u.DefineClass("Inner");
+  u.AddField(inner, "x", false, {u.Primitive(FieldKind::kInt)});
+  auto* outer = u.DefineClass("Outer");
+  u.AddField(outer, "inner", true, {inner});
+  SudtLayout layout = SudtLayout::Build(outer, LengthResolver());
+  std::string code = GenerateSudtAccessor("OuterView", layout);
+  EXPECT_NE(code.find("inner_x()"), std::string::npos);
+  EXPECT_EQ(code.find("inner.x()"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace deca::core

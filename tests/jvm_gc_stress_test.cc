@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+#include "core/page.h"
+#include "jvm/class_registry.h"
+#include "jvm/heap.h"
+
+namespace deca::jvm {
+namespace {
+
+/// Randomized mutator fuzz against every collector at several heap sizes:
+/// builds and mutates object graphs, drops roots, allocates arrays of many
+/// shapes, and verifies full heap consistency after every collection
+/// burst. The heap's Verify() checks that every reachable reference lands
+/// on a live object start.
+class GcFuzzTest
+    : public ::testing::TestWithParam<std::tuple<GcAlgorithm, size_t>> {};
+
+TEST_P(GcFuzzTest, RandomMutatorKeepsHeapConsistent) {
+  auto [algo, heap_mb] = GetParam();
+  ClassRegistry registry;
+  uint32_t node = registry.RegisterClass(
+      "Node", {{"value", FieldKind::kLong}, {"next", FieldKind::kRef}});
+  uint32_t holder = registry.RegisterClass(
+      "Holder", {{"a", FieldKind::kRef},
+                 {"weight", FieldKind::kDouble},
+                 {"b", FieldKind::kRef}});
+  HeapConfig cfg;
+  cfg.heap_bytes = heap_mb << 20;
+  cfg.algorithm = algo;
+  Heap heap(cfg, &registry);
+  uint32_t holder_a = registry.Get(holder).FieldOffset("a");
+  uint32_t holder_b = registry.Get(holder).FieldOffset("b");
+
+  VectorRootProvider roots;
+  heap.AddRootProvider(&roots);
+  Rng rng(1234 + heap_mb);
+  int64_t next_value = 0;
+
+  for (int round = 0; round < 40; ++round) {
+    // Allocate a burst of random structures.
+    for (int i = 0; i < 400; ++i) {
+      HandleScope scope(&heap);
+      switch (rng.NextBounded(4)) {
+        case 0: {  // linked pair
+          Handle n1 = scope.Make(heap.AllocateInstance(node));
+          heap.SetField<int64_t>(n1.get(), 0, next_value++);
+          Handle n2 = scope.Make(heap.AllocateInstance(node));
+          heap.SetField<int64_t>(n2.get(), 0, next_value++);
+          heap.SetRefField(n2.get(), 8, n1.get());
+          if (rng.NextBounded(4) == 0) roots.refs().push_back(n2.get());
+          break;
+        }
+        case 1: {  // holder linking two random roots
+          Handle h = scope.Make(heap.AllocateInstance(holder));
+          if (!roots.refs().empty()) {
+            heap.SetRefField(
+                h.get(), holder_a,
+                roots.refs()[rng.NextBounded(roots.refs().size())]);
+            heap.SetRefField(
+                h.get(), holder_b,
+                roots.refs()[rng.NextBounded(roots.refs().size())]);
+          }
+          if (rng.NextBounded(3) == 0) roots.refs().push_back(h.get());
+          break;
+        }
+        case 2: {  // primitive array garbage of random size
+          heap.AllocateArray(registry.double_array_class(),
+                             static_cast<uint32_t>(rng.NextBounded(500)));
+          break;
+        }
+        default: {  // ref array pinning random roots
+          Handle arr = scope.Make(
+              heap.AllocateArray(registry.ref_array_class(), 16));
+          for (uint32_t j = 0; j < 16 && !roots.refs().empty(); ++j) {
+            heap.SetRefElem(
+                arr.get(), j,
+                roots.refs()[rng.NextBounded(roots.refs().size())]);
+          }
+          if (rng.NextBounded(5) == 0) roots.refs().push_back(arr.get());
+          break;
+        }
+      }
+    }
+    // Randomly drop some roots, mutate others.
+    if (roots.refs().size() > 300) {
+      roots.refs().erase(roots.refs().begin(),
+                         roots.refs().begin() + 200);
+    }
+    if (round % 3 == 0) heap.CollectMinor();
+    if (round % 7 == 0) heap.CollectFull();
+    heap.Verify();
+  }
+  heap.RemoveRootProvider(&roots);
+  heap.CollectFull();
+  heap.Verify();
+}
+
+TEST_P(GcFuzzTest, PageGroupsSurviveChurn) {
+  auto [algo, heap_mb] = GetParam();
+  ClassRegistry registry;
+  uint32_t node = registry.RegisterClass(
+      "Node", {{"value", FieldKind::kLong}, {"next", FieldKind::kRef}});
+  HeapConfig cfg;
+  cfg.heap_bytes = heap_mb << 20;
+  cfg.algorithm = algo;
+  Heap heap(cfg, &registry);
+
+  core::PageGroup pages(&heap, 8 << 10);
+  std::vector<core::SegPtr> segs;
+  Rng rng(99);
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 200; ++i) {
+      core::SegPtr s = pages.Append(24);
+      StoreRaw<int64_t>(pages.Resolve(s), segs.size());
+      segs.push_back(s);
+    }
+    // Object churn to force collections around the pages.
+    for (int i = 0; i < 3000; ++i) heap.AllocateInstance(node);
+    heap.CollectMinor();
+  }
+  heap.CollectFull();
+  for (size_t i = 0; i < segs.size(); ++i) {
+    ASSERT_EQ(LoadRaw<int64_t>(pages.Resolve(segs[i])),
+              static_cast<int64_t>(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, GcFuzzTest,
+    ::testing::Combine(::testing::Values(GcAlgorithm::kParallelScavenge,
+                                         GcAlgorithm::kConcurrentMarkSweep,
+                                         GcAlgorithm::kG1),
+                       ::testing::Values<size_t>(4, 8, 24)),
+    [](const ::testing::TestParamInfo<std::tuple<GcAlgorithm, size_t>>&
+           info) {
+      return std::string(GcAlgorithmName(std::get<0>(info.param))) + "_" +
+             std::to_string(std::get<1>(info.param)) + "MB";
+    });
+
+/// Tenure-threshold sweep: objects must end up in the old generation after
+/// exactly `threshold` surviving minor collections.
+class TenureTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(TenureTest, PromotionHappensAtThreshold) {
+  ClassRegistry registry;
+  uint32_t node = registry.RegisterClass(
+      "Node", {{"value", FieldKind::kLong}, {"next", FieldKind::kRef}});
+  HeapConfig cfg;
+  cfg.heap_bytes = 8u << 20;
+  cfg.tenure_threshold = GetParam();
+  Heap heap(cfg, &registry);
+  HandleScope scope(&heap);
+  Handle obj = scope.Make(heap.AllocateInstance(node));
+  for (uint32_t i = 0; i + 1 < GetParam(); ++i) {
+    heap.CollectMinor();
+    EXPECT_TRUE(heap.collector()->IsYoung(obj.get()))
+        << "promoted too early at minor GC " << i;
+  }
+  heap.CollectMinor();
+  EXPECT_FALSE(heap.collector()->IsYoung(obj.get()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, TenureTest,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+/// CMS fragmentation: alternate pinned/dropped large arrays until the free
+/// list fragments, then force allocations that only fit after coalescing
+/// or compaction fallback.
+TEST(CmsFragmentationTest, CompactionFallbackRecovers) {
+  ClassRegistry registry;
+  HeapConfig cfg;
+  cfg.heap_bytes = 8u << 20;
+  cfg.algorithm = GcAlgorithm::kConcurrentMarkSweep;
+  Heap heap(cfg, &registry);
+  VectorRootProvider roots;
+  heap.AddRootProvider(&roots);
+  // Fill old gen with alternating pinned/garbage 64KB arrays.
+  for (int i = 0; i < 80; ++i) {
+    ObjRef a = heap.AllocateArray(registry.byte_array_class(), 60 << 10);
+    if (i % 2 == 0) roots.refs().push_back(a);
+  }
+  heap.CollectFull();  // sweep -> fragmented free list
+  // A 2x-sized allocation cannot fit a single fragment; the compaction
+  // fallback must make room.
+  ObjRef big = heap.AllocateArray(registry.byte_array_class(), 150 << 10);
+  EXPECT_NE(big, kNullRef);
+  heap.Verify();
+  heap.RemoveRootProvider(&roots);
+}
+
+/// G1 evacuation failure: pin nearly the whole heap, then force young GCs.
+/// The collector must degrade via in-place promotion, not crash, and the
+/// heap must stay consistent.
+TEST(G1EvacFailureTest, InPlacePromotionKeepsHeapConsistent) {
+  ClassRegistry registry;
+  uint32_t node = registry.RegisterClass(
+      "Node", {{"value", FieldKind::kLong}, {"next", FieldKind::kRef}});
+  HeapConfig cfg;
+  cfg.heap_bytes = 8u << 20;
+  cfg.algorithm = GcAlgorithm::kG1;
+  Heap heap(cfg, &registry);
+  VectorRootProvider roots;
+  heap.AddRootProvider(&roots);
+  // Pin ~70% of the heap.
+  for (int i = 0; i < 56; ++i) {
+    roots.refs().push_back(
+        heap.AllocateArray(registry.byte_array_class(), 100 << 10));
+  }
+  // Allocate live young data and churn.
+  for (int i = 0; i < 20000; ++i) {
+    ObjRef n = heap.AllocateInstance(node);
+    heap.SetField<int64_t>(n, 0, i);
+    if (i % 50 == 0) roots.refs().push_back(n);
+  }
+  heap.CollectMinor();
+  heap.Verify();
+  // All pinned values intact.
+  int64_t expect = 0;
+  for (ObjRef r : roots.refs()) {
+    if (heap.ClassIdOf(r) == node) {
+      EXPECT_EQ(heap.GetField<int64_t>(r, 0), expect);
+      expect += 50;
+    }
+  }
+  heap.RemoveRootProvider(&roots);
+}
+
+/// Remembered sets must stay precise across promotion + mutation cycles.
+TEST(RemsetTest, MutatedOldObjectsRediscoveredEachCycle) {
+  for (GcAlgorithm algo :
+       {GcAlgorithm::kParallelScavenge, GcAlgorithm::kConcurrentMarkSweep,
+        GcAlgorithm::kG1}) {
+    ClassRegistry registry;
+    uint32_t node = registry.RegisterClass(
+        "Node", {{"value", FieldKind::kLong}, {"next", FieldKind::kRef}});
+    HeapConfig cfg;
+    cfg.heap_bytes = 8u << 20;
+    cfg.algorithm = algo;
+    Heap heap(cfg, &registry);
+    HandleScope scope(&heap);
+    Handle old_obj = scope.Make(heap.AllocateInstance(node));
+    for (uint32_t i = 0; i <= cfg.tenure_threshold; ++i) heap.CollectMinor();
+    ASSERT_FALSE(heap.collector()->IsYoung(old_obj.get()));
+    for (int round = 0; round < 10; ++round) {
+      ObjRef young = heap.AllocateInstance(node);
+      heap.SetField<int64_t>(young, 0, round);
+      heap.SetRefField(old_obj.get(), 8, young);
+      heap.CollectMinor();
+      ObjRef now = heap.GetRefField(old_obj.get(), 8);
+      ASSERT_NE(now, kNullRef) << GcAlgorithmName(algo);
+      ASSERT_EQ(heap.GetField<int64_t>(now, 0), round)
+          << GcAlgorithmName(algo);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace deca::jvm

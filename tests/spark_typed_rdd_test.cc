@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "spark/typed_rdd.h"
+
+namespace deca::spark {
+namespace {
+
+SparkConfig SmallConfig() {
+  SparkConfig cfg;
+  cfg.num_executors = 2;
+  cfg.partitions_per_executor = 2;
+  cfg.heap.heap_bytes = 24u << 20;
+  cfg.spill_dir = "/tmp/deca_test_spill_typed";
+  return cfg;
+}
+
+TEST(TypedRddTest, ParallelizeCountCollect) {
+  SparkContext ctx(SmallConfig());
+  std::vector<int64_t> data(1000);
+  std::iota(data.begin(), data.end(), 0);
+  auto rdd = TypedRdd<int64_t>::Parallelize(&ctx, MakeBoxedLongAdapter(),
+                                            data);
+  EXPECT_EQ(rdd.Count(), 1000u);
+  std::vector<int64_t> collected = rdd.Collect();
+  std::sort(collected.begin(), collected.end());
+  EXPECT_EQ(collected, data);
+}
+
+TEST(TypedRddTest, MapFilterReducePipeline) {
+  SparkContext ctx(SmallConfig());
+  std::vector<int64_t> data(500);
+  std::iota(data.begin(), data.end(), 1);
+  auto rdd = TypedRdd<int64_t>::Parallelize(&ctx, MakeBoxedLongAdapter(),
+                                            data);
+  auto doubled = rdd.Map([](const int64_t& v) { return v * 2; });
+  auto big = doubled.Filter([](const int64_t& v) { return v > 500; });
+  // doubled values in (500, 1000]: v in 251..500 -> 250 values.
+  EXPECT_EQ(big.Count(), 250u);
+  int64_t sum = big.Reduce(0, [](const int64_t& a, const int64_t& b) {
+    return a + b;
+  });
+  int64_t expected = 0;
+  for (int64_t v = 251; v <= 500; ++v) expected += 2 * v;
+  EXPECT_EQ(sum, expected);
+}
+
+TEST(TypedRddTest, MapToDifferentType) {
+  SparkContext ctx(SmallConfig());
+  std::vector<int64_t> data{1, 2, 3, 4};
+  auto rdd = TypedRdd<int64_t>::Parallelize(&ctx, MakeBoxedLongAdapter(),
+                                            data);
+  auto halves = rdd.Map<double>(
+      MakeBoxedDoubleAdapter(),
+      [](const int64_t& v) { return static_cast<double>(v) / 2.0; });
+  double sum = halves.Reduce(
+      0.0, [](const double& a, const double& b) { return a + b; });
+  EXPECT_DOUBLE_EQ(sum, 5.0);
+}
+
+TEST(TypedRddTest, DataLivesInManagedHeapsAndSurvivesGc) {
+  SparkContext ctx(SmallConfig());
+  std::vector<int64_t> data(2000);
+  std::iota(data.begin(), data.end(), 100);
+  auto rdd = TypedRdd<int64_t>::Parallelize(&ctx, MakeBoxedLongAdapter(),
+                                            data);
+  // The records are real managed objects: force collections everywhere.
+  for (int e = 0; e < ctx.num_executors(); ++e) {
+    ctx.executor(e)->heap()->CollectFull();
+    ctx.executor(e)->heap()->Verify();
+  }
+  int64_t sum = rdd.Reduce(0, [](const int64_t& a, const int64_t& b) {
+    return a + b;
+  });
+  EXPECT_EQ(sum, std::accumulate(data.begin(), data.end(), int64_t{0}));
+}
+
+TEST(TypedRddTest, SourceRddReusableAfterDerivation) {
+  SparkContext ctx(SmallConfig());
+  std::vector<int64_t> data{5, 10, 15};
+  auto rdd = TypedRdd<int64_t>::Parallelize(&ctx, MakeBoxedLongAdapter(),
+                                            data);
+  auto derived = rdd.Map([](const int64_t& v) { return v + 1; });
+  EXPECT_EQ(rdd.Count(), 3u);       // source intact
+  EXPECT_EQ(derived.Count(), 3u);
+  EXPECT_EQ(rdd.Reduce(0, [](const int64_t& a, const int64_t& b) {
+    return a + b;
+  }), 30);
+  EXPECT_EQ(derived.Reduce(0, [](const int64_t& a, const int64_t& b) {
+    return a + b;
+  }), 33);
+}
+
+TEST(TypedRddTest, EmptyDataset) {
+  SparkContext ctx(SmallConfig());
+  auto rdd = TypedRdd<int64_t>::Parallelize(&ctx, MakeBoxedLongAdapter(), {});
+  EXPECT_EQ(rdd.Count(), 0u);
+  EXPECT_TRUE(rdd.Collect().empty());
+  EXPECT_EQ(rdd.Filter([](const int64_t&) { return true; }).Count(), 0u);
+}
+
+}  // namespace
+}  // namespace deca::spark

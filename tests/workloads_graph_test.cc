@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "workloads/graph.h"
+#include "workloads/wordcount.h"
+
+namespace deca::workloads {
+namespace {
+
+spark::SparkConfig SmallSpark() {
+  spark::SparkConfig cfg;
+  cfg.num_executors = 2;
+  cfg.partitions_per_executor = 2;
+  cfg.heap.heap_bytes = 48u << 20;
+  cfg.spill_dir = "/tmp/deca_test_spill_graph";
+  return cfg;
+}
+
+class WcModeTest : public ::testing::TestWithParam<Mode> {};
+
+TEST_P(WcModeTest, CountsEveryWordOnce) {
+  WordCountParams p;
+  p.total_words = 200000;
+  p.distinct_keys = 1000;
+  p.mode = GetParam();
+  p.spark = SmallSpark();
+  WordCountResult r = RunWordCount(p);
+  EXPECT_EQ(r.total_count, 200000u);
+  EXPECT_EQ(r.distinct_found, 1000u);
+  EXPECT_GT(r.shuffle_bytes, 0u);
+}
+
+TEST_P(WcModeTest, SkewedKeysStillExact) {
+  WordCountParams p;
+  p.total_words = 100000;
+  p.distinct_keys = 5000;
+  p.zipf_s = 1.0;
+  p.mode = GetParam();
+  p.spark = SmallSpark();
+  WordCountResult r = RunWordCount(p);
+  EXPECT_EQ(r.total_count, 100000u);
+  EXPECT_LE(r.distinct_found, 5000u);
+  EXPECT_GT(r.distinct_found, 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, WcModeTest,
+                         ::testing::Values(Mode::kSpark, Mode::kDeca),
+                         [](const ::testing::TestParamInfo<Mode>& info) {
+                           return std::string(ModeName(info.param));
+                         });
+
+TEST(WcTest, ModesAgreeOnDistinctCounts) {
+  WordCountParams p;
+  p.total_words = 100000;
+  p.distinct_keys = 777;
+  p.spark = SmallSpark();
+  p.mode = Mode::kSpark;
+  WordCountResult spark = RunWordCount(p);
+  p.mode = Mode::kDeca;
+  WordCountResult deca = RunWordCount(p);
+  EXPECT_EQ(spark.total_count, deca.total_count);
+  EXPECT_EQ(spark.distinct_found, deca.distinct_found);
+}
+
+TEST(WcTest, ProfilerTracksTuple2Lifetimes) {
+  WordCountParams p;
+  p.total_words = 400000;
+  p.distinct_keys = 20000;
+  p.spark = SmallSpark();
+  p.mode = Mode::kSpark;
+  p.profile = true;
+  p.profile_every = 50000;
+  WordCountResult r = RunWordCount(p);
+  EXPECT_GT(r.run.object_counts.size(), 2u);
+  // Deca mode keeps no Tuple2s at all.
+  p.mode = Mode::kDeca;
+  WordCountResult d = RunWordCount(p);
+  for (double v : d.run.object_counts.values) EXPECT_EQ(v, 0.0);
+}
+
+TEST(WcTest, DecaShufflesFewerOrEqualBytes) {
+  WordCountParams p;
+  p.total_words = 200000;
+  p.distinct_keys = 50000;
+  p.spark = SmallSpark();
+  p.mode = Mode::kSpark;
+  WordCountResult spark = RunWordCount(p);
+  p.mode = Mode::kDeca;
+  WordCountResult deca = RunWordCount(p);
+  // Deca writes fixed 16B entries; Spark writes varints — sizes differ but
+  // both are sane and nonzero.
+  EXPECT_GT(spark.shuffle_bytes, 0u);
+  EXPECT_GT(deca.shuffle_bytes, 0u);
+}
+
+class GraphModeTest : public ::testing::TestWithParam<Mode> {};
+
+TEST_P(GraphModeTest, PageRankMassConserved) {
+  GraphParams p;
+  p.num_vertices = 1 << 12;
+  p.num_edges = 1 << 15;
+  p.iterations = 3;
+  p.mode = GetParam();
+  p.spark = SmallSpark();
+  PageRankResult r = RunPageRank(p);
+  EXPECT_GT(r.vertices_ranked, 100u);
+  EXPECT_GT(r.rank_sum, 0.0);
+  EXPECT_GT(r.adjacency_records, 0u);
+}
+
+TEST_P(GraphModeTest, ConnectedComponentsFindsComponents) {
+  GraphParams p;
+  p.num_vertices = 1 << 12;
+  p.num_edges = 1 << 15;
+  p.iterations = 8;
+  p.mode = GetParam();
+  p.spark = SmallSpark();
+  ConnectedComponentsResult r = RunConnectedComponents(p);
+  EXPECT_GT(r.components, 0u);
+  EXPECT_GT(r.label_updates, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, GraphModeTest,
+                         ::testing::Values(Mode::kSpark, Mode::kSparkSer,
+                                           Mode::kDeca),
+                         [](const ::testing::TestParamInfo<Mode>& info) {
+                           return std::string(ModeName(info.param));
+                         });
+
+TEST(GraphPlanTest, Figure7bVerdicts) {
+  // The full pipeline — phased classification + container planning — must
+  // arrive at the paper's Figure 7(b) layout decisions.
+  GraphPlan plan = PlanAdjacencyContainers();
+  EXPECT_EQ(plan.buffer_phase_size_type, analysis::SizeType::kVariable);
+  EXPECT_EQ(plan.cache_phase_size_type, analysis::SizeType::kRuntimeFixed);
+  EXPECT_EQ(plan.shuffle_layout, core::ContainerLayout::kObjects);
+  EXPECT_EQ(plan.cache_layout, core::ContainerLayout::kDecomposed);
+}
+
+TEST(GraphTest, AllModesAgreeOnResults) {
+  GraphParams p;
+  p.num_vertices = 1 << 12;
+  p.num_edges = 1 << 15;
+  p.iterations = 3;
+  p.spark = SmallSpark();
+
+  p.mode = Mode::kSpark;
+  PageRankResult pr_spark = RunPageRank(p);
+  ConnectedComponentsResult cc_spark = RunConnectedComponents(p);
+  p.mode = Mode::kDeca;
+  PageRankResult pr_deca = RunPageRank(p);
+  ConnectedComponentsResult cc_deca = RunConnectedComponents(p);
+  p.mode = Mode::kSparkSer;
+  PageRankResult pr_ser = RunPageRank(p);
+
+  EXPECT_EQ(pr_spark.vertices_ranked, pr_deca.vertices_ranked);
+  EXPECT_EQ(pr_spark.vertices_ranked, pr_ser.vertices_ranked);
+  // Floating-point sums differ only by association order.
+  EXPECT_NEAR(pr_spark.rank_sum, pr_deca.rank_sum,
+              1e-6 * pr_spark.rank_sum);
+  EXPECT_NEAR(pr_spark.rank_sum, pr_ser.rank_sum, 1e-6 * pr_spark.rank_sum);
+  // Min-label propagation is order-independent: exact match.
+  EXPECT_EQ(cc_spark.components, cc_deca.components);
+}
+
+}  // namespace
+}  // namespace deca::workloads
