@@ -2,6 +2,7 @@
 #define DECA_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "common/table_printer.h"
@@ -12,10 +13,23 @@ namespace deca::bench {
 /// Default executor sizing used across the reproduction benches: two
 /// executors with 64 MB heaps stand in for the paper's five 30 GB workers
 /// (a ~1000x uniform down-scale; all reported effects are ratios).
+///
+/// Environment overrides (results stay bit-identical across both):
+///   DECA_EXECUTORS=N       executor count (default 2)
+///   DECA_WORKER_THREADS=N  parallel runtime threads (default 0 =
+///                          sequential driver loop)
 inline spark::SparkConfig DefaultSpark(size_t heap_mb = 64) {
   spark::SparkConfig cfg;
   cfg.num_executors = 2;
   cfg.partitions_per_executor = 2;
+  if (const char* e = std::getenv("DECA_EXECUTORS")) {
+    int n = std::atoi(e);
+    if (n > 0) cfg.num_executors = n;
+  }
+  if (const char* e = std::getenv("DECA_WORKER_THREADS")) {
+    int n = std::atoi(e);
+    if (n > 0) cfg.num_worker_threads = n;
+  }
   cfg.heap.heap_bytes = heap_mb << 20;
   cfg.memory_fraction = 0.75;
   cfg.spill_dir = "/tmp/deca_bench_spill";

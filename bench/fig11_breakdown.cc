@@ -17,7 +17,7 @@ void AddBreakdown(TablePrinter* t, const char* app, const char* mode,
                   const spark::TaskMetrics& m) {
   t->AddRow({app, mode, Ms(m.total_ms), Ms(m.compute_ms()), Ms(m.gc_ms),
              Ms(m.deser_ms + m.ser_ms), Ms(m.shuffle_read_ms),
-             Ms(m.shuffle_write_ms), Ms(m.spill_ms)});
+             Ms(m.shuffle_write_ms), Ms(m.spill_ms), Ms(m.queue_ms)});
 }
 
 }  // namespace
@@ -27,7 +27,7 @@ int main() {
               "Fig. 11 — compute / GC / (de)ser / shuffle per task",
               "LR-small (fits), LR-large (GC + swap), PR (shuffle-heavy)");
   TablePrinter t({"job", "mode", "total(ms)", "compute", "gc", "(de)ser",
-                  "shuf read", "shuf write", "disk"});
+                  "shuf read", "shuf write", "disk", "queue"});
   for (Mode mode : {Mode::kSpark, Mode::kSparkSer, Mode::kDeca}) {
     MlParams p;
     p.num_points = 240'000;

@@ -10,6 +10,8 @@
 //                     uservisits rows (sql). Default per workload.
 //   --heap-mb=N       per-executor heap (default 64)
 //   --executors=N     (default 2)    --iters=N (default 10)
+//   --threads=N       worker threads for the parallel task runtime
+//                     (default 0 = sequential; results are bit-identical)
 //   --gc=ps|cms|g1    collector (default ps)
 //   --dims=N          vector dims (lr/kmeans, default 10)
 //   --keys=N          distinct keys (wc, default 100000)
@@ -37,6 +39,7 @@ struct Options {
   uint64_t size = 0;
   size_t heap_mb = 64;
   int executors = 2;
+  int threads = 0;
   int iters = 10;
   std::string gc = "ps";
   int dims = 10;
@@ -69,8 +72,9 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: decabench <wc|lr|kmeans|pr|cc|sql> [--mode=...] "
-                 "[--size=N] [--heap-mb=N] [--executors=N] [--iters=N] "
-                 "[--gc=ps|cms|g1] [--dims=N] [--keys=N] [--storage=F]\n");
+                 "[--size=N] [--heap-mb=N] [--executors=N] [--threads=N] "
+                 "[--iters=N] [--gc=ps|cms|g1] [--dims=N] [--keys=N] "
+                 "[--storage=F]\n");
     return 2;
   }
   Options opt;
@@ -85,6 +89,8 @@ int main(int argc, char** argv) {
       opt.heap_mb = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "executors", &v)) {
       opt.executors = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "threads", &v)) {
+      opt.threads = std::atoi(v.c_str());
     } else if (ParseFlag(argv[i], "iters", &v)) {
       opt.iters = std::atoi(v.c_str());
     } else if (ParseFlag(argv[i], "gc", &v)) {
@@ -103,6 +109,7 @@ int main(int argc, char** argv) {
 
   spark::SparkConfig cfg;
   cfg.num_executors = opt.executors;
+  cfg.num_worker_threads = opt.threads;
   cfg.partitions_per_executor = 2;
   cfg.heap.heap_bytes = opt.heap_mb << 20;
   cfg.storage_fraction = opt.storage;

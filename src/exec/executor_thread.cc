@@ -1,0 +1,21 @@
+#include "exec/executor_thread.h"
+
+namespace deca::exec {
+
+ExecutorThread::ExecutorThread(int worker_index)
+    : worker_index_(worker_index), thread_([this] { Loop(); }) {}
+
+ExecutorThread::~ExecutorThread() {
+  queue_.Close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ExecutorThread::Loop() {
+  std::function<void()> task;
+  while (queue_.Pop(&task)) {
+    task();
+    task = nullptr;  // release captures before blocking in Pop again
+  }
+}
+
+}  // namespace deca::exec

@@ -1,0 +1,38 @@
+#ifndef DECA_EXEC_EXECUTOR_THREAD_H_
+#define DECA_EXEC_EXECUTOR_THREAD_H_
+
+#include <thread>
+
+#include "exec/task_queue.h"
+
+namespace deca::exec {
+
+/// One OS worker thread draining one FIFO task queue until the queue is
+/// closed. Every executor (heap) assigned to a worker has exactly this
+/// thread as its mutator while a stage runs — the unit of parallelism is
+/// the executor precisely because its heap already has a single mutator
+/// and stop-the-world collections then need no cross-thread handshake.
+class ExecutorThread {
+ public:
+  explicit ExecutorThread(int worker_index);
+  /// Closes the queue and joins the thread; queued tasks still drain.
+  ~ExecutorThread();
+
+  ExecutorThread(const ExecutorThread&) = delete;
+  ExecutorThread& operator=(const ExecutorThread&) = delete;
+
+  TaskQueue* queue() { return &queue_; }
+  int worker_index() const { return worker_index_; }
+  std::thread::id thread_id() const { return thread_.get_id(); }
+
+ private:
+  void Loop();
+
+  int worker_index_;
+  TaskQueue queue_;
+  std::thread thread_;
+};
+
+}  // namespace deca::exec
+
+#endif  // DECA_EXEC_EXECUTOR_THREAD_H_

@@ -1,0 +1,31 @@
+#include "exec/metrics_sink.h"
+
+#include "common/logging.h"
+
+namespace deca::exec {
+
+void MetricsSink::BeginStage(int num_partitions) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.assign(static_cast<size_t>(num_partitions), spark::TaskMetrics());
+  reported_.assign(static_cast<size_t>(num_partitions), 0);
+}
+
+void MetricsSink::Report(int partition, const spark::TaskMetrics& m) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DECA_CHECK_LT(static_cast<size_t>(partition), slots_.size());
+  DECA_CHECK(!reported_[static_cast<size_t>(partition)])
+      << "partition " << partition << " reported twice";
+  slots_[static_cast<size_t>(partition)] = m;
+  reported_[static_cast<size_t>(partition)] = 1;
+}
+
+void MetricsSink::EndStage(spark::JobMetrics* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t p = 0; p < slots_.size(); ++p) {
+    if (reported_[p]) out->ObserveTask(slots_[p]);
+  }
+  slots_.clear();
+  reported_.clear();
+}
+
+}  // namespace deca::exec

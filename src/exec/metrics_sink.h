@@ -1,0 +1,39 @@
+#ifndef DECA_EXEC_METRICS_SINK_H_
+#define DECA_EXEC_METRICS_SINK_H_
+
+#include <mutex>
+#include <vector>
+
+#include "spark/metrics.h"
+
+namespace deca::exec {
+
+/// Thread-safe collection point for per-task metrics: executor threads
+/// report each finished task into a per-partition slot, and the driver
+/// folds the slots into the job's aggregate AFTER the stage barrier, in
+/// partition order. Buffering per partition (instead of accumulating in
+/// completion order, as the old driver loop mutated JobMetrics directly)
+/// keeps the floating-point accumulation order — and thus the aggregate
+/// values — identical between sequential and parallel modes.
+class MetricsSink {
+ public:
+  /// Starts a new stage with `num_partitions` task slots.
+  void BeginStage(int num_partitions);
+
+  /// Records a finished task's metrics. Thread-safe; each partition must
+  /// report at most once per stage.
+  void Report(int partition, const spark::TaskMetrics& m);
+
+  /// Folds every reported slot into `out` in partition order. Call from
+  /// the driver after the stage barrier.
+  void EndStage(spark::JobMetrics* out);
+
+ private:
+  std::mutex mu_;
+  std::vector<spark::TaskMetrics> slots_;
+  std::vector<uint8_t> reported_;
+};
+
+}  // namespace deca::exec
+
+#endif  // DECA_EXEC_METRICS_SINK_H_

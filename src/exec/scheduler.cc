@@ -1,0 +1,62 @@
+#include "exec/scheduler.h"
+
+#include <algorithm>
+#include <exception>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "exec/stage_barrier.h"
+
+namespace deca::exec {
+
+TaskScheduler::TaskScheduler(int num_executors, int num_worker_threads)
+    : num_executors_(num_executors) {
+  DECA_CHECK_GT(num_executors, 0);
+  DECA_CHECK_GE(num_worker_threads, 0);
+  int n = std::min(num_worker_threads, num_executors);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int w = 0; w < n; ++w) {
+    workers_.push_back(std::make_unique<ExecutorThread>(w));
+  }
+}
+
+TaskScheduler::~TaskScheduler() = default;
+
+std::thread::id TaskScheduler::MutatorThreadId(int executor) const {
+  if (!parallel()) return std::this_thread::get_id();
+  return workers_[static_cast<size_t>(WorkerOfExecutor(executor))]
+      ->thread_id();
+}
+
+void TaskScheduler::RunStage(int num_partitions, const StageTask& task) {
+  if (!parallel()) {
+    for (int p = 0; p < num_partitions; ++p) task(p, /*queue_ms=*/0.0);
+    return;
+  }
+  StageBarrier barrier(num_partitions);
+  // One slot per partition: workers write disjoint entries, the driver
+  // reads only after the barrier, and rethrowing the lowest failing
+  // partition keeps error propagation deterministic.
+  std::vector<std::exception_ptr> errors(
+      static_cast<size_t>(num_partitions));
+  for (int p = 0; p < num_partitions; ++p) {
+    int w = WorkerOfExecutor(ExecutorOfPartition(p));
+    Stopwatch queued;
+    workers_[static_cast<size_t>(w)]->queue()->Push(
+        [&task, &barrier, &errors, p, queued] {
+          double queue_ms = queued.ElapsedMillis();
+          try {
+            task(p, queue_ms);
+          } catch (...) {
+            errors[static_cast<size_t>(p)] = std::current_exception();
+          }
+          barrier.Arrive();
+        });
+  }
+  barrier.Wait();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace deca::exec

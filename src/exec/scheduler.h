@@ -1,0 +1,80 @@
+#ifndef DECA_EXEC_SCHEDULER_H_
+#define DECA_EXEC_SCHEDULER_H_
+
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "exec/executor_thread.h"
+
+namespace deca::exec {
+
+/// Executor-granularity task scheduler. A stage is a set of tasks, one per
+/// partition; the scheduler dispatches each task to the worker thread that
+/// owns the partition's executor, in partition order, and blocks the
+/// driver at a stage-end barrier until all tasks complete.
+///
+/// Determinism contract (parallel results bit-identical to sequential):
+///  - Placement is owned here. Both the sequential and the parallel path —
+///    and the engine's `executor_for_partition` — ask ExecutorOfPartition,
+///    so the two modes can never disagree about which heap a partition's
+///    objects live in.
+///  - Per-executor task order is the sequential order. Tasks are enqueued
+///    in ascending partition order onto FIFO queues, so each heap sees its
+///    subsequence of partitions — and thus its allocation/GC history — in
+///    exactly the order the sequential loop produces.
+///  - A heap never has two mutators: a worker serves every executor
+///    mapped to it, and an executor is mapped to exactly one worker.
+///
+/// With num_worker_threads == 0 no threads are spawned and RunStage runs
+/// every task inline on the calling thread (the legacy driver loop).
+class TaskScheduler {
+ public:
+  /// A stage task: invoked once per partition; `queue_ms` is the
+  /// scheduler delay the task spent queued before starting (0 when
+  /// sequential).
+  using StageTask = std::function<void(int partition, double queue_ms)>;
+
+  /// Spawns min(num_worker_threads, num_executors) worker threads
+  /// (none when num_worker_threads == 0).
+  TaskScheduler(int num_executors, int num_worker_threads);
+  ~TaskScheduler();
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  bool parallel() const { return !workers_.empty(); }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// The single source of truth for partition placement.
+  int ExecutorOfPartition(int partition) const {
+    return partition % num_executors_;
+  }
+
+  /// The worker thread serving `executor` (executors are striped over
+  /// workers when there are fewer workers than executors).
+  int WorkerOfExecutor(int executor) const {
+    return executor % static_cast<int>(workers_.size());
+  }
+
+  /// The mutator thread of `executor`'s heap while stages run: its
+  /// worker's thread in parallel mode, the calling (driver) thread
+  /// otherwise.
+  std::thread::id MutatorThreadId(int executor) const;
+
+  /// Runs one stage: `task(p, queue_ms)` once per partition p in
+  /// [0, num_partitions). Returns after the stage barrier. If tasks
+  /// threw, rethrows the exception of the lowest-numbered failing
+  /// partition (deterministic); the remaining tasks still run to
+  /// completion first.
+  void RunStage(int num_partitions, const StageTask& task);
+
+ private:
+  int num_executors_;
+  std::vector<std::unique_ptr<ExecutorThread>> workers_;
+};
+
+}  // namespace deca::exec
+
+#endif  // DECA_EXEC_SCHEDULER_H_

@@ -1,0 +1,49 @@
+#ifndef DECA_EXEC_STAGE_BARRIER_H_
+#define DECA_EXEC_STAGE_BARRIER_H_
+
+#include <condition_variable>
+#include <mutex>
+
+namespace deca::exec {
+
+/// Stage-end barrier: worker threads call Arrive() once per finished task;
+/// the driver blocks in Wait() until every expected task has arrived.
+/// Cross-executor reads (shuffle chunks, cached blocks of other heaps,
+/// driver-side result folding) are only legal after Wait() returns — the
+/// barrier is the synchronization point that makes the parallel runtime's
+/// "reads only after the stage barrier" contract hold.
+class StageBarrier {
+ public:
+  explicit StageBarrier(int expected) : expected_(expected) {}
+
+  StageBarrier(const StageBarrier&) = delete;
+  StageBarrier& operator=(const StageBarrier&) = delete;
+
+  /// Marks one task complete; wakes waiters once all have arrived.
+  void Arrive() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++arrived_;
+    if (arrived_ >= expected_) cv_.notify_all();
+  }
+
+  /// Blocks until `expected` tasks have arrived.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return arrived_ >= expected_; });
+  }
+
+  int arrived() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return arrived_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int expected_;
+  int arrived_ = 0;
+};
+
+}  // namespace deca::exec
+
+#endif  // DECA_EXEC_STAGE_BARRIER_H_

@@ -1,0 +1,38 @@
+#include "exec/task_queue.h"
+
+#include "common/logging.h"
+
+namespace deca::exec {
+
+void TaskQueue::Push(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DECA_CHECK(!closed_) << "Push on closed TaskQueue";
+    tasks_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+bool TaskQueue::Pop(std::function<void()>* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return closed_ || !tasks_.empty(); });
+  if (tasks_.empty()) return false;
+  *out = std::move(tasks_.front());
+  tasks_.pop_front();
+  return true;
+}
+
+void TaskQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t TaskQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_.size();
+}
+
+}  // namespace deca::exec

@@ -1,0 +1,44 @@
+#ifndef DECA_EXEC_TASK_QUEUE_H_
+#define DECA_EXEC_TASK_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+namespace deca::exec {
+
+/// Unbounded FIFO of closures feeding one worker thread (multi-producer,
+/// single-consumer in practice; safe for any number of either). The FIFO
+/// discipline is load-bearing: tasks are enqueued in partition order, so
+/// every heap sees its tasks — and therefore its allocations and GCs — in
+/// exactly the order the sequential driver loop would produce.
+class TaskQueue {
+ public:
+  TaskQueue() = default;
+  TaskQueue(const TaskQueue&) = delete;
+  TaskQueue& operator=(const TaskQueue&) = delete;
+
+  /// Enqueues a task. Must not be called after Close().
+  void Push(std::function<void()> fn);
+
+  /// Blocks until a task is available (returned via `out`, true) or the
+  /// queue is closed and drained (false).
+  bool Pop(std::function<void()>* out);
+
+  /// Wakes all poppers; Pop() keeps returning queued tasks until the
+  /// queue is drained, then returns false.
+  void Close();
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool closed_ = false;
+};
+
+}  // namespace deca::exec
+
+#endif  // DECA_EXEC_TASK_QUEUE_H_

@@ -47,6 +47,7 @@ Heap::~Heap() = default;
 
 ObjRef Heap::AllocateImpl(uint32_t class_id, uint32_t length,
                           bool die_on_oom) {
+  AssertMutator();
   const ClassInfo& ci = registry_->Get(class_id);
   uint32_t total = ci.ObjectBytes(length);
   bool large = total >= config_.large_object_bytes;

@@ -1,9 +1,11 @@
 #ifndef DECA_JVM_HEAP_H_
 #define DECA_JVM_HEAP_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -64,8 +66,14 @@ class Handle {
   uint32_t index_;
 };
 
-/// One simulated JVM heap (one executor). Single-threaded: allocation,
-/// field access, and collections all happen on the owning thread.
+/// One simulated JVM heap (one executor). Single-mutator: allocation,
+/// field access, and collections all happen on the owning thread. The
+/// owner is the constructing thread until the execution runtime
+/// (src/exec) hands the heap to an executor thread for a stage and
+/// returns it to the driver at the stage barrier (SetMutatorThread).
+/// Debug builds assert the invariant on every allocation, field access
+/// and collection so a cross-thread touch fails fast instead of
+/// corrupting the simulation.
 ///
 /// Usage discipline (mirrors JNI local references): any raw ObjRef held in
 /// a C++ local across a potential allocation must be wrapped in a Handle
@@ -126,20 +134,24 @@ class Heap {
 
   template <typename T>
   T GetField(ObjRef obj, uint32_t offset) const {
+    AssertMutator();
     DECA_DCHECK_LE(offset + sizeof(T), ClassOf(obj).payload_bytes());
     return LoadRaw<T>(Addr(obj) + kHeaderBytes + offset);
   }
   template <typename T>
   void SetField(ObjRef obj, uint32_t offset, T value) {
+    AssertMutator();
     DECA_DCHECK_LE(offset + sizeof(T), ClassOf(obj).payload_bytes());
     StoreRaw(Addr(obj) + kHeaderBytes + offset, value);
   }
 
   ObjRef GetRefField(ObjRef obj, uint32_t offset) const {
+    AssertMutator();
     DECA_DCHECK_LE(offset + sizeof(ObjRef), ClassOf(obj).payload_bytes());
     return LoadRaw<ObjRef>(Addr(obj) + kHeaderBytes + offset);
   }
   void SetRefField(ObjRef obj, uint32_t offset, ObjRef value) {
+    AssertMutator();
     DECA_DCHECK_LE(offset + sizeof(ObjRef), ClassOf(obj).payload_bytes());
     StoreRaw(Addr(obj) + kHeaderBytes + offset, value);
     if (value != kNullRef) collector_->WriteBarrier(obj, value);
@@ -147,11 +159,13 @@ class Heap {
 
   template <typename T>
   T GetElem(ObjRef arr, uint32_t i) const {
+    AssertMutator();
     DECA_DCHECK(i < LengthOf(arr));
     return LoadRaw<T>(Addr(arr) + kHeaderBytes + i * sizeof(T));
   }
   template <typename T>
   void SetElem(ObjRef arr, uint32_t i, T value) {
+    AssertMutator();
     DECA_DCHECK(i < LengthOf(arr));
     StoreRaw(Addr(arr) + kHeaderBytes + i * sizeof(T), value);
   }
@@ -171,6 +185,7 @@ class Heap {
   /// Pushes a new handle slot holding `ref`; released by the enclosing
   /// HandleScope.
   Handle NewHandle(ObjRef ref) {
+    AssertMutator();
     if (handle_top_ == handle_slots_.size()) {
       handle_slots_.push_back(ref);
     } else {
@@ -214,8 +229,14 @@ class Heap {
 
   // -- Collection & introspection ------------------------------------------
 
-  void CollectMinor() { collector_->CollectMinor(); }
-  void CollectFull() { collector_->CollectFull(); }
+  void CollectMinor() {
+    AssertMutator();
+    collector_->CollectMinor();
+  }
+  void CollectFull() {
+    AssertMutator();
+    collector_->CollectFull();
+  }
 
   const GcStats& stats() const { return stats_; }
   GcStats& mutable_stats() { return stats_; }
@@ -244,6 +265,29 @@ class Heap {
   /// O(heap); intended for tests.
   void Verify() const;
 
+  // -- Thread ownership ----------------------------------------------------
+
+  /// Hands the heap to a new mutator thread. Called by the execution
+  /// runtime when a stage starts (driver -> executor thread) and at the
+  /// stage barrier (executor thread -> driver); callers must guarantee
+  /// the previous mutator is quiescent.
+  void SetMutatorThread(std::thread::id id) {
+    mutator_.store(id, std::memory_order_release);
+  }
+  std::thread::id mutator_thread() const {
+    return mutator_.load(std::memory_order_acquire);
+  }
+
+  /// Debug-mode single-mutator check: allocation, field access and
+  /// collection must happen on the owning thread. No-op under NDEBUG.
+  void AssertMutator() const {
+#ifndef NDEBUG
+    DECA_CHECK(mutator_.load(std::memory_order_relaxed) ==
+               std::this_thread::get_id())
+        << "heap touched off its mutator thread";
+#endif
+  }
+
   // -- Collector-internal facilities ---------------------------------------
 
   uint8_t* base() const { return base_; }
@@ -271,6 +315,7 @@ class Heap {
   std::vector<ObjRef> handle_slots_;
   size_t handle_top_ = 0;
   std::vector<RootProvider*> root_providers_;
+  std::atomic<std::thread::id> mutator_{std::this_thread::get_id()};
 };
 
 /// RAII scope for handles: releases every handle created after its

@@ -134,8 +134,10 @@ void CacheManager::PutObjects(BlockKey key, jvm::ObjRef records,
   auto [it, inserted] = blocks_.insert_or_assign(key, std::move(e));
   (void)it;
   DECA_CHECK(inserted) << "block cached twice";
-  memory_bytes_ += blocks_[key].bytes;
-  if (memory_bytes_ > peak_memory_bytes_) peak_memory_bytes_ = memory_bytes_;
+  uint64_t now = memory_bytes_ += blocks_[key].bytes;
+  if (now > peak_memory_bytes_.load(std::memory_order_relaxed)) {
+    peak_memory_bytes_.store(now, std::memory_order_relaxed);
+  }
   EnforceBudget(metrics);
 }
 
@@ -151,8 +153,10 @@ void CacheManager::PutPages(BlockKey key,
   auto [it, inserted] = blocks_.insert_or_assign(key, std::move(e));
   (void)it;
   DECA_CHECK(inserted) << "block cached twice";
-  memory_bytes_ += blocks_[key].bytes;
-  if (memory_bytes_ > peak_memory_bytes_) peak_memory_bytes_ = memory_bytes_;
+  uint64_t now = memory_bytes_ += blocks_[key].bytes;
+  if (now > peak_memory_bytes_.load(std::memory_order_relaxed)) {
+    peak_memory_bytes_.store(now, std::memory_order_relaxed);
+  }
   EnforceBudget(metrics);
 }
 

@@ -1,6 +1,7 @@
 #ifndef DECA_SPARK_BLOCK_STORE_H_
 #define DECA_SPARK_BLOCK_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -55,6 +56,14 @@ struct LoadedBlock {
 ///
 /// Registered as a GC root provider: in-memory object/serialized blocks
 /// pin their managed arrays; page groups pin their own pages.
+///
+/// Concurrency contract (the src/exec runtime): a cache manager belongs
+/// to one executor, and every Put/Get/Evict runs either on that
+/// executor's mutator thread or on the driver after the stage barrier —
+/// `blocks_` is never touched from two threads at once, and locking it
+/// here would deadlock anyway (GC root visits re-enter during
+/// allocation). Only the byte counters are read cross-thread (driver
+/// progress/metric queries), so they are atomics.
 class CacheManager : public jvm::RootProvider {
  public:
   CacheManager(jvm::Heap* heap, const SparkConfig* config, int executor_id);
@@ -83,12 +92,20 @@ class CacheManager : public jvm::RootProvider {
   void Evict(BlockKey key);
 
   /// Total bytes of blocks currently held in memory.
-  uint64_t memory_bytes() const { return memory_bytes_; }
+  uint64_t memory_bytes() const {
+    return memory_bytes_.load(std::memory_order_relaxed);
+  }
   /// Total bytes of blocks currently swapped out.
-  uint64_t disk_bytes() const { return disk_bytes_; }
+  uint64_t disk_bytes() const {
+    return disk_bytes_.load(std::memory_order_relaxed);
+  }
   /// Peak in-memory footprint observed.
-  uint64_t peak_memory_bytes() const { return peak_memory_bytes_; }
-  uint64_t swap_out_count() const { return swap_out_count_; }
+  uint64_t peak_memory_bytes() const {
+    return peak_memory_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t swap_out_count() const {
+    return swap_out_count_.load(std::memory_order_relaxed);
+  }
 
   void VisitRoots(const std::function<void(jvm::ObjRef*)>& fn) override;
 
@@ -124,10 +141,10 @@ class CacheManager : public jvm::RootProvider {
   int executor_id_;
   std::map<BlockKey, Entry> blocks_;
   std::map<int, const RecordOps*> ops_;
-  uint64_t memory_bytes_ = 0;
-  uint64_t disk_bytes_ = 0;
-  uint64_t peak_memory_bytes_ = 0;
-  uint64_t swap_out_count_ = 0;
+  std::atomic<uint64_t> memory_bytes_{0};
+  std::atomic<uint64_t> disk_bytes_{0};
+  std::atomic<uint64_t> peak_memory_bytes_{0};
+  std::atomic<uint64_t> swap_out_count_{0};
   uint64_t lru_clock_ = 0;
 };
 

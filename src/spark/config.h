@@ -27,6 +27,12 @@ struct SparkConfig {
   int num_executors = 2;
   /// Tasks per stage = num_executors * partitions_per_executor.
   int partitions_per_executor = 2;
+  /// Worker threads for the parallel task-execution runtime (src/exec).
+  /// 0 keeps the legacy sequential driver loop (the default, so benchmark
+  /// measurements stay deterministic); N > 0 spawns min(N, num_executors)
+  /// executor threads, each the sole mutator of the heaps striped onto
+  /// it. Results are bit-identical across the two modes.
+  int num_worker_threads = 0;
   /// Per-executor heap sizing and GC algorithm.
   jvm::HeapConfig heap;
 

@@ -1,11 +1,44 @@
 #include "spark/context.h"
 
+#include <thread>
+
 #include "common/clock.h"
 #include "common/logging.h"
 
 namespace deca::spark {
 
-SparkContext::SparkContext(const SparkConfig& config) : config_(config) {
+namespace {
+
+/// Returns each executor heap to the driver thread at scope exit — also
+/// on the exception path, so a failing stage leaves ownership sane.
+class ScopedHeapOwnership {
+ public:
+  ScopedHeapOwnership(std::vector<std::unique_ptr<Executor>>* executors,
+                      exec::TaskScheduler* scheduler)
+      : executors_(executors), active_(scheduler->parallel()) {
+    if (!active_) return;
+    for (size_t e = 0; e < executors_->size(); ++e) {
+      (*executors_)[e]->heap()->SetMutatorThread(
+          scheduler->MutatorThreadId(static_cast<int>(e)));
+    }
+  }
+  ~ScopedHeapOwnership() {
+    if (!active_) return;
+    for (auto& e : *executors_) {
+      e->heap()->SetMutatorThread(std::this_thread::get_id());
+    }
+  }
+
+ private:
+  std::vector<std::unique_ptr<Executor>>* executors_;
+  bool active_;
+};
+
+}  // namespace
+
+SparkContext::SparkContext(const SparkConfig& config)
+    : config_(config),
+      scheduler_(config.num_executors, config.num_worker_threads) {
   DECA_CHECK_GT(config.num_executors, 0);
   for (int i = 0; i < config.num_executors; ++i) {
     executors_.push_back(std::make_unique<Executor>(i, config_, &registry_));
@@ -18,16 +51,25 @@ void SparkContext::RunStage(const std::string& name,
                             const std::function<void(TaskContext&)>& task) {
   (void)name;
   Stopwatch stage_sw;
-  for (int p = 0; p < num_partitions(); ++p) {
-    Executor* e = executor_for_partition(p);
-    TaskContext tc(this, e, p, num_partitions());
-    double gc0 = e->heap()->stats().TotalPauseMs();
-    Stopwatch sw;
-    task(tc);
-    tc.metrics().total_ms = sw.ElapsedMillis();
-    tc.metrics().gc_ms = e->heap()->stats().TotalPauseMs() - gc0;
-    metrics_.ObserveTask(tc.metrics());
+  const int nparts = num_partitions();
+  sink_.BeginStage(nparts);
+  {
+    ScopedHeapOwnership ownership(&executors_, &scheduler_);
+    scheduler_.RunStage(nparts, [&](int p, double queue_ms) {
+      Executor* e = executor_for_partition(p);
+      TaskContext tc(this, e, p, nparts);
+      tc.metrics().queue_ms = queue_ms;
+      double gc0 = e->heap()->stats().TotalPauseMs();
+      Stopwatch sw;
+      task(tc);
+      tc.metrics().total_ms = sw.ElapsedMillis();
+      tc.metrics().gc_ms = e->heap()->stats().TotalPauseMs() - gc0;
+      sink_.Report(p, tc.metrics());
+    });
   }
+  // Post-barrier: fold task metrics in partition order (deterministic
+  // regardless of completion order).
+  sink_.EndStage(&metrics_);
   metrics_.wall_ms += stage_sw.ElapsedMillis();
 }
 

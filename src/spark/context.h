@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "exec/metrics_sink.h"
+#include "exec/scheduler.h"
 #include "jvm/class_registry.h"
 #include "spark/executor.h"
 #include "spark/metrics.h"
@@ -43,9 +45,11 @@ class TaskContext {
 };
 
 /// The driver: owns the executors (each with its own managed heap), the
-/// shuffle service and the job metrics. Stages execute their tasks one per
-/// partition, round-robin across executors — modelling a cluster run on a
-/// single thread so measurements are deterministic.
+/// task scheduler, the shuffle service and the job metrics. Stages
+/// execute one task per partition, round-robin across executors. With
+/// `num_worker_threads == 0` (default) tasks run sequentially on the
+/// driver thread; otherwise the src/exec runtime runs each executor's
+/// tasks on its own OS thread, with bit-identical results.
 class SparkContext {
  public:
   explicit SparkContext(const SparkConfig& config);
@@ -63,9 +67,14 @@ class SparkContext {
   }
   int num_executors() const { return config_.num_executors; }
   Executor* executor(int i) { return executors_[static_cast<size_t>(i)].get(); }
+  /// Partition placement is owned by the scheduler so the sequential and
+  /// parallel paths cannot disagree about which heap a partition's
+  /// objects live in.
   Executor* executor_for_partition(int p) {
-    return executors_[static_cast<size_t>(p) % executors_.size()].get();
+    return executors_[static_cast<size_t>(scheduler_.ExecutorOfPartition(p))]
+        .get();
   }
+  exec::TaskScheduler* scheduler() { return &scheduler_; }
 
   /// Runs one stage: `task` is invoked once per partition. Task wall time
   /// and the GC pauses incurred during it are recorded in the job metrics.
@@ -96,6 +105,8 @@ class SparkContext {
   SparkConfig config_;
   jvm::ClassRegistry registry_;
   std::vector<std::unique_ptr<Executor>> executors_;
+  exec::TaskScheduler scheduler_;
+  exec::MetricsSink sink_;
   ShuffleService shuffle_;
   JobMetrics metrics_;
 };

@@ -7,9 +7,11 @@
 
 namespace deca::spark {
 
-/// Wall-clock breakdown of one task (paper Figure 11's categories).
+/// Wall-clock breakdown of one task (paper Figure 11's categories, plus
+/// scheduler delay once tasks can wait in an executor queue).
 struct TaskMetrics {
-  double total_ms = 0;
+  double total_ms = 0;         // from task start; excludes queue_ms
+  double queue_ms = 0;         // scheduler delay: submit -> task start
   double gc_ms = 0;            // stop-the-world GC pauses during the task
   double shuffle_read_ms = 0;
   double shuffle_write_ms = 0;
@@ -25,6 +27,7 @@ struct TaskMetrics {
 
   void Accumulate(const TaskMetrics& t) {
     total_ms += t.total_ms;
+    queue_ms += t.queue_ms;
     gc_ms += t.gc_ms;
     shuffle_read_ms += t.shuffle_read_ms;
     shuffle_write_ms += t.shuffle_write_ms;

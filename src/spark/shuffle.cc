@@ -12,46 +12,64 @@ namespace deca::spark {
 
 // -- ShuffleService -----------------------------------------------------------
 
+ShuffleService::ShuffleData* ShuffleService::Find(int shuffle_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return &shuffles_[static_cast<size_t>(shuffle_id)];
+}
+
 int ShuffleService::RegisterShuffle(int num_reducers) {
-  ShuffleData d;
+  std::lock_guard<std::mutex> lock(mu_);
+  ShuffleData& d = shuffles_.emplace_back();
   d.num_reducers = num_reducers;
-  d.chunks.resize(static_cast<size_t>(num_reducers));
-  shuffles_.push_back(std::move(d));
+  d.buckets.reserve(static_cast<size_t>(num_reducers));
+  for (int r = 0; r < num_reducers; ++r) {
+    d.buckets.push_back(std::make_unique<ReducerBucket>());
+  }
   return static_cast<int>(shuffles_.size() - 1);
 }
 
-void ShuffleService::PutChunk(int shuffle_id, int reducer,
+void ShuffleService::PutChunk(int shuffle_id, int reducer, int map_partition,
                               std::vector<uint8_t> bytes) {
   if (bytes.empty()) return;
-  shuffles_[static_cast<size_t>(shuffle_id)]
-      .chunks[static_cast<size_t>(reducer)]
-      .push_back(std::move(bytes));
+  ReducerBucket& b = *Find(shuffle_id)->buckets[static_cast<size_t>(reducer)];
+  std::lock_guard<std::mutex> lock(b.mu);
+  // Keep chunks sorted by map partition id so the reducer reads them in
+  // the same order regardless of map-task completion order.
+  auto it = std::upper_bound(b.mappers.begin(), b.mappers.end(),
+                             map_partition);
+  size_t pos = static_cast<size_t>(it - b.mappers.begin());
+  DECA_CHECK(pos == 0 || b.mappers[pos - 1] != map_partition)
+      << "map partition " << map_partition
+      << " deposited twice for reducer " << reducer;
+  b.mappers.insert(it, map_partition);
+  b.chunks.insert(b.chunks.begin() + static_cast<ptrdiff_t>(pos),
+                  std::move(bytes));
 }
 
 const std::vector<std::vector<uint8_t>>& ShuffleService::GetChunks(
     int shuffle_id, int reducer) const {
-  return shuffles_[static_cast<size_t>(shuffle_id)]
-      .chunks[static_cast<size_t>(reducer)];
+  return Find(shuffle_id)->buckets[static_cast<size_t>(reducer)]->chunks;
 }
 
 int ShuffleService::num_reducers(int shuffle_id) const {
-  return shuffles_[static_cast<size_t>(shuffle_id)].num_reducers;
+  return Find(shuffle_id)->num_reducers;
 }
 
 uint64_t ShuffleService::total_bytes(int shuffle_id) const {
   uint64_t total = 0;
-  for (const auto& per_reducer :
-       shuffles_[static_cast<size_t>(shuffle_id)].chunks) {
-    for (const auto& chunk : per_reducer) total += chunk.size();
+  for (const auto& bucket : Find(shuffle_id)->buckets) {
+    for (const auto& chunk : bucket->chunks) total += chunk.size();
   }
   return total;
 }
 
 void ShuffleService::Release(int shuffle_id) {
-  shuffles_[static_cast<size_t>(shuffle_id)].chunks.clear();
-  shuffles_[static_cast<size_t>(shuffle_id)].chunks.resize(
-      static_cast<size_t>(shuffles_[static_cast<size_t>(shuffle_id)]
-                              .num_reducers));
+  for (auto& bucket : Find(shuffle_id)->buckets) {
+    bucket->mappers.clear();
+    bucket->chunks.clear();
+    bucket->mappers.shrink_to_fit();
+    bucket->chunks.shrink_to_fit();
+  }
 }
 
 // -- ObjectHashShuffleBuffer --------------------------------------------------

@@ -2,8 +2,10 @@
 #define DECA_SPARK_SHUFFLE_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/page.h"
@@ -18,31 +20,52 @@ namespace deca::spark {
 /// map tasks deposit per-reducer byte chunks; reduce tasks fetch all
 /// chunks for their partition. Chunks live in native memory (like OS page
 /// cache / disk in a real deployment), outside any executor heap.
+///
+/// Concurrency contract (the src/exec runtime): PutChunk may be called
+/// from any worker thread — writes to a reducer's bucket are serialized
+/// by a per-bucket lock, and each bucket keeps its chunks sorted by map
+/// partition id, so reduce-side iteration order (and hence the reducer's
+/// allocation/GC history) is identical no matter which map task finished
+/// first. GetChunks/total_bytes/Release are read/drain operations and
+/// must only run after the stage-end barrier, when no map task is live.
 class ShuffleService {
  public:
   /// Registers a shuffle with `num_reducers` output partitions; returns
   /// its id.
   int RegisterShuffle(int num_reducers);
 
-  void PutChunk(int shuffle_id, int reducer, std::vector<uint8_t> bytes);
+  /// Deposits the bytes `map_partition` produced for `reducer`. Thread
+  /// safe; empty chunks are dropped. Each map partition may deposit at
+  /// most one chunk per reducer.
+  void PutChunk(int shuffle_id, int reducer, int map_partition,
+                std::vector<uint8_t> bytes);
 
-  /// All chunks destined for `reducer`.
+  /// All chunks destined for `reducer`, ordered by map partition id.
+  /// Stage-barrier side only (driver / reduce stage).
   const std::vector<std::vector<uint8_t>>& GetChunks(int shuffle_id,
                                                      int reducer) const;
 
   int num_reducers(int shuffle_id) const;
   uint64_t total_bytes(int shuffle_id) const;
 
-  /// Frees a completed shuffle's chunks.
+  /// Frees a completed shuffle's chunks. Stage-barrier side only.
   void Release(int shuffle_id);
 
  private:
+  struct ReducerBucket {
+    std::mutex mu;                 // serializes map-side PutChunk writers
+    std::vector<int> mappers;      // sorted map partition ids, parallel to
+    std::vector<std::vector<uint8_t>> chunks;  // ...the chunk list
+  };
   struct ShuffleData {
     int num_reducers = 0;
-    // per reducer: list of chunks
-    std::vector<std::vector<std::vector<uint8_t>>> chunks;
+    std::vector<std::unique_ptr<ReducerBucket>> buckets;
   };
-  std::vector<ShuffleData> shuffles_;
+  ShuffleData* Find(int shuffle_id) const;
+
+  mutable std::mutex mu_;  // guards shuffles_ registration/lookup
+  // deque: references to elements stay valid as shuffles register.
+  mutable std::deque<ShuffleData> shuffles_;
 };
 
 /// Map-side hash shuffle buffer with eager combining, object mode: an

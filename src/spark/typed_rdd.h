@@ -81,31 +81,48 @@ class TypedRdd {
 
   /// Folds all values with an associative function; `identity` seeds each
   /// partition (driver-side final combine, like Spark's reduce action).
+  /// Tasks write disjoint per-partition slots; the driver folds them in
+  /// partition order after the stage barrier, so the result — including
+  /// floating-point rounding — is identical in parallel mode.
   T Reduce(const T& identity,
            const std::function<T(const T&, const T&)>& fn) const {
-    T total = identity;
+    std::vector<T> partials(static_cast<size_t>(ctx_->num_partitions()),
+                            identity);
     ctx_->RunStage("reduce", [&](TaskContext& tc) {
       T partial = identity;
       VisitPartition(tc, [&](const T& value) { partial = fn(partial, value); });
-      total = fn(total, partial);
+      partials[static_cast<size_t>(tc.partition())] = partial;
     });
+    T total = identity;
+    for (const T& p : partials) total = fn(total, p);
     return total;
   }
 
   uint64_t Count() const {
-    uint64_t n = 0;
+    std::vector<uint64_t> partials(
+        static_cast<size_t>(ctx_->num_partitions()), 0);
     ctx_->RunStage("count", [&](TaskContext& tc) {
-      n += state_->counts[static_cast<size_t>(tc.partition())];
+      partials[static_cast<size_t>(tc.partition())] =
+          state_->counts[static_cast<size_t>(tc.partition())];
     });
+    uint64_t n = 0;
+    for (uint64_t c : partials) n += c;
     return n;
   }
 
   /// Gathers every value to the driver (partition order).
   std::vector<T> Collect() const {
-    std::vector<T> all;
+    std::vector<std::vector<T>> parts(
+        static_cast<size_t>(ctx_->num_partitions()));
     ctx_->RunStage("collect", [&](TaskContext& tc) {
-      VisitPartition(tc, [&](const T& value) { all.push_back(value); });
+      auto& out = parts[static_cast<size_t>(tc.partition())];
+      VisitPartition(tc, [&](const T& value) { out.push_back(value); });
     });
+    std::vector<T> all;
+    for (auto& p : parts) {
+      all.insert(all.end(), std::make_move_iterator(p.begin()),
+                 std::make_move_iterator(p.end()));
+    }
     return all;
   }
 
@@ -150,6 +167,8 @@ class TypedRdd {
         adapter_(std::move(adapter)),
         state_(std::make_shared<State>(ctx)) {}
 
+  // Tasks write only their own partition's slots (and their own
+  // executor's provider), so concurrent materialization is race-free.
   void MaterializePartition(TaskContext& tc, const std::vector<T>& values) {
     jvm::Heap* h = tc.heap();
     jvm::HandleScope scope(h);

@@ -280,12 +280,13 @@ uint64_t BuildAdjacency(spark::SparkContext* ctx, const GraphParams& params,
     }
     ScopedTimerMs t(&tc.metrics().shuffle_write_ms);
     for (int r = 0; r < parts; ++r) {
-      ctx->shuffle()->PutChunk(edge_shuffle, r,
+      ctx->shuffle()->PutChunk(edge_shuffle, r, tc.partition(),
                                outs[static_cast<size_t>(r)].TakeBuffer());
     }
   });
 
-  uint64_t total_records = 0;
+  // Per-partition record counts, summed after the barrier (parallel-safe).
+  std::vector<uint64_t> part_records(static_cast<size_t>(parts), 0);
   ctx->RunStage("group", [&](spark::TaskContext& tc) {
     jvm::Heap* h = tc.heap();
     // The grouping buffer holds managed objects in BOTH modes: its value
@@ -425,9 +426,11 @@ uint64_t BuildAdjacency(spark::SparkContext* ctx, const GraphParams& params,
         }
       });
     }
-    total_records += count;
+    part_records[static_cast<size_t>(tc.partition())] = count;
   });
   ctx->shuffle()->Release(edge_shuffle);
+  uint64_t total_records = 0;
+  for (uint64_t c : part_records) total_records += c;
   return total_records;
 }
 
@@ -590,7 +593,7 @@ PageRankResult RunPageRank(const GraphParams& params) {
       {
         ScopedTimerMs t(&tc.metrics().shuffle_write_ms);
         for (int r = 0; r < parts; ++r) {
-          ctx.shuffle()->PutChunk(next_shuffle, r,
+          ctx.shuffle()->PutChunk(next_shuffle, r, tc.partition(),
                                   outs[static_cast<size_t>(r)].TakeBuffer());
         }
       }
@@ -600,9 +603,13 @@ PageRankResult RunPageRank(const GraphParams& params) {
   }
 
   // Final aggregation: fold the last contributions into ranks.
-  double rank_sum = 0;
-  uint64_t ranked = 0;
+  // Per-partition slots folded in partition order after the barrier so
+  // the float sum is identical in parallel mode.
+  std::vector<double> part_rank_sum(static_cast<size_t>(parts), 0.0);
+  std::vector<uint64_t> part_ranked(static_cast<size_t>(parts), 0);
   ctx.RunStage("finalize", [&](spark::TaskContext& tc) {
+    double& rank_sum = part_rank_sum[static_cast<size_t>(tc.partition())];
+    uint64_t& ranked = part_ranked[static_cast<size_t>(tc.partition())];
     jvm::Heap* h = tc.heap();
     const auto& chunks =
         ctx.shuffle()->GetChunks(prev_shuffle, tc.partition());
@@ -638,6 +645,12 @@ PageRankResult RunPageRank(const GraphParams& params) {
   });
   ctx.shuffle()->Release(prev_shuffle);
 
+  double rank_sum = 0;
+  uint64_t ranked = 0;
+  for (int p = 0; p < parts; ++p) {
+    rank_sum += part_rank_sum[static_cast<size_t>(p)];
+    ranked += part_ranked[static_cast<size_t>(p)];
+  }
   result.run.exec_ms = exec_sw.ElapsedMillis();
   result.rank_sum = rank_sum;
   result.vertices_ranked = ranked;
@@ -677,10 +690,11 @@ ConnectedComponentsResult RunConnectedComponents(const GraphParams& params) {
   uint64_t total_updates = 0;
   for (int iter = 0; iter < params.iterations; ++iter) {
     int next_shuffle = ctx.shuffle()->RegisterShuffle(parts);
-    uint64_t updates = 0;
+    std::vector<uint64_t> part_updates(static_cast<size_t>(parts), 0);
     ctx.RunStage("cc-iter", [&](spark::TaskContext& tc) {
       jvm::Heap* h = tc.heap();
       int p = tc.partition();
+      uint64_t& updates = part_updates[static_cast<size_t>(p)];
       // 1. Apply incoming label minima.
       if (prev_shuffle >= 0) {
         const auto& chunks = ctx.shuffle()->GetChunks(prev_shuffle, p);
@@ -806,18 +820,21 @@ ConnectedComponentsResult RunConnectedComponents(const GraphParams& params) {
       {
         ScopedTimerMs t(&tc.metrics().shuffle_write_ms);
         for (int r = 0; r < parts; ++r) {
-          ctx.shuffle()->PutChunk(next_shuffle, r,
+          ctx.shuffle()->PutChunk(next_shuffle, r, tc.partition(),
                                   outs[static_cast<size_t>(r)].TakeBuffer());
         }
       }
     });
     if (prev_shuffle >= 0) ctx.shuffle()->Release(prev_shuffle);
     prev_shuffle = next_shuffle;
+    uint64_t updates = 0;
+    for (uint64_t u : part_updates) updates += u;
     total_updates += updates;
     if (iter > 0 && updates == 0) break;
   }
 
   // Apply the final round of messages so labels are consistent.
+  std::vector<uint64_t> final_updates(static_cast<size_t>(parts), 0);
   ctx.RunStage("cc-final", [&](spark::TaskContext& tc) {
     jvm::Heap* h = tc.heap();
     int p = tc.partition();
@@ -825,7 +842,7 @@ ConnectedComponentsResult RunConnectedComponents(const GraphParams& params) {
     auto apply = [&](int64_t v, int64_t l) {
       if (l < label_of(p, v)) {
         labels[static_cast<size_t>(p)][v] = l;
-        ++total_updates;
+        ++final_updates[static_cast<size_t>(p)];
       }
     };
     if (deca) {
@@ -850,6 +867,7 @@ ConnectedComponentsResult RunConnectedComponents(const GraphParams& params) {
     }
   });
   ctx.shuffle()->Release(prev_shuffle);
+  for (uint64_t u : final_updates) total_updates += u;
 
   // Count distinct labels among all labelled vertices.
   std::set<int64_t> distinct;

@@ -286,13 +286,17 @@ KMeansResult RunKMeans(const MlParams& params) {
       {
         ScopedTimerMs t(&tc.metrics().shuffle_write_ms);
         for (int r = 0; r < parts; ++r) {
-          ctx.shuffle()->PutChunk(shuffle_id, r,
+          ctx.shuffle()->PutChunk(shuffle_id, r, tc.partition(),
                                   outs[static_cast<size_t>(r)].TakeBuffer());
         }
       }
     });
 
-    // Reduce: merge partial aggregates, emit new centers.
+    // Reduce: merge partial aggregates, emit new centers. Each cluster
+    // key hashes to exactly one reducer, so concurrent tasks write
+    // disjoint counts[c] / new_centers[c] rows — no races, and the
+    // per-cluster float accumulation order is fixed by the reducer's
+    // (map-partition-sorted) chunk order.
     std::vector<std::vector<double>> new_centers(
         static_cast<size_t>(k),
         std::vector<double>(static_cast<size_t>(dims), 0.0));

@@ -338,10 +338,15 @@ LrResult RunLogisticRegression(const MlParams& params) {
 
   Stopwatch exec_sw;
   for (int iter = 0; iter < params.iterations; ++iter) {
-    std::vector<double> gradient(static_cast<size_t>(dims), 0.0);
+    // One gradient slot per partition; folded in partition order after
+    // the barrier so float accumulation is identical in parallel mode.
+    std::vector<std::vector<double>> part_grads(
+        static_cast<size_t>(parts),
+        std::vector<double>(static_cast<size_t>(dims), 0.0));
     ctx.RunStage("gradient", [&](spark::TaskContext& tc) {
       jvm::Heap* h = tc.heap();
-      std::vector<double> grad(static_cast<size_t>(dims), 0.0);
+      std::vector<double>& grad =
+          part_grads[static_cast<size_t>(tc.partition())];
       ForEachPointBlock(tc, kLrRddId, [&](const spark::LoadedBlock& block) {
         HandleScope scope(h);
         switch (block.level) {
@@ -383,10 +388,14 @@ LrResult RunLogisticRegression(const MlParams& params) {
           }
         }
       });
-      for (int j = 0; j < dims; ++j) {
-        gradient[static_cast<size_t>(j)] += grad[static_cast<size_t>(j)];
-      }
     });
+    std::vector<double> gradient(static_cast<size_t>(dims), 0.0);
+    for (int p = 0; p < parts; ++p) {
+      for (int j = 0; j < dims; ++j) {
+        gradient[static_cast<size_t>(j)] +=
+            part_grads[static_cast<size_t>(p)][static_cast<size_t>(j)];
+      }
+    }
     double n = static_cast<double>(params.num_points);
     for (int j = 0; j < dims; ++j) {
       weights[static_cast<size_t>(j)] -=

@@ -413,9 +413,13 @@ SqlResult RunSqlQueries(const SqlParams& params) {
   // ---- Query 1: filter scan over rankings.
   double gc0 = ctx.TotalGcPauseMs();
   Stopwatch q1_sw;
-  uint64_t q1_matches = 0;
-  double q1_sum = 0;
+  // Per-partition slots folded in partition order post-stage: identical
+  // counts and float sums whether the stage ran sequentially or not.
+  std::vector<uint64_t> part_q1_matches(static_cast<size_t>(parts), 0);
+  std::vector<double> part_q1_sum(static_cast<size_t>(parts), 0.0);
   ctx.RunStage("q1", [&](spark::TaskContext& tc) {
+    uint64_t& q1_matches = part_q1_matches[static_cast<size_t>(tc.partition())];
+    double& q1_sum = part_q1_sum[static_cast<size_t>(tc.partition())];
     jvm::Heap* h = tc.heap();
     int32_t threshold = params.rank_threshold;
     switch (params.engine) {
@@ -466,6 +470,12 @@ SqlResult RunSqlQueries(const SqlParams& params) {
   });
   result.q1_exec_ms = q1_sw.ElapsedMillis();
   result.q1_gc_ms = ctx.TotalGcPauseMs() - gc0;
+  uint64_t q1_matches = 0;
+  double q1_sum = 0;
+  for (int p = 0; p < parts; ++p) {
+    q1_matches += part_q1_matches[static_cast<size_t>(p)];
+    q1_sum += part_q1_sum[static_cast<size_t>(p)];
+  }
   result.q1_matches = q1_matches;
   result.q1_rank_sum = q1_sum;
 
@@ -546,14 +556,16 @@ SqlResult RunSqlQueries(const SqlParams& params) {
     }
     ScopedTimerMs t(&tc.metrics().shuffle_write_ms);
     for (int r = 0; r < parts; ++r) {
-      ctx.shuffle()->PutChunk(shuffle_id, r,
+      ctx.shuffle()->PutChunk(shuffle_id, r, tc.partition(),
                               outs[static_cast<size_t>(r)].TakeBuffer());
     }
   });
 
-  uint64_t groups = 0;
-  double revenue = 0;
+  std::vector<uint64_t> part_groups(static_cast<size_t>(parts), 0);
+  std::vector<double> part_revenue(static_cast<size_t>(parts), 0.0);
   ctx.RunStage("q2-reduce", [&](spark::TaskContext& tc) {
+    uint64_t& groups = part_groups[static_cast<size_t>(tc.partition())];
+    double& revenue = part_revenue[static_cast<size_t>(tc.partition())];
     jvm::Heap* h = tc.heap();
     const auto& chunks = ctx.shuffle()->GetChunks(shuffle_id, tc.partition());
     if (byte_shuffle) {
@@ -593,6 +605,12 @@ SqlResult RunSqlQueries(const SqlParams& params) {
   ctx.shuffle()->Release(shuffle_id);
   result.q2_exec_ms = q2_sw.ElapsedMillis();
   result.q2_gc_ms = ctx.TotalGcPauseMs() - gc0;
+  uint64_t groups = 0;
+  double revenue = 0;
+  for (int p = 0; p < parts; ++p) {
+    groups += part_groups[static_cast<size_t>(p)];
+    revenue += part_revenue[static_cast<size_t>(p)];
+  }
   result.q2_groups = groups;
   result.q2_revenue_sum = revenue;
 

@@ -163,17 +163,20 @@ WordCountResult RunWordCount(const WordCountParams& params) {
     }
     ScopedTimerMs t(&tc.metrics().shuffle_write_ms);
     for (int r = 0; r < parts; ++r) {
-      ctx.shuffle()->PutChunk(shuffle_id, r,
+      ctx.shuffle()->PutChunk(shuffle_id, r, tc.partition(),
                               outs[static_cast<size_t>(r)].TakeBuffer());
     }
   });
 
   result.shuffle_bytes = ctx.shuffle()->total_bytes(shuffle_id);
 
-  // -- reduce stage: merge per-reducer chunks.
-  uint64_t total = 0;
-  uint64_t distinct = 0;
+  // -- reduce stage: merge per-reducer chunks. Per-partition accumulator
+  // slots, folded in partition order after the stage (parallel-safe).
+  std::vector<uint64_t> part_total(static_cast<size_t>(parts), 0);
+  std::vector<uint64_t> part_distinct(static_cast<size_t>(parts), 0);
   ctx.RunStage("reduce", [&](spark::TaskContext& tc) {
+    uint64_t& total = part_total[static_cast<size_t>(tc.partition())];
+    uint64_t& distinct = part_distinct[static_cast<size_t>(tc.partition())];
     jvm::Heap* h = tc.heap();
     const auto& chunks = ctx.shuffle()->GetChunks(shuffle_id, tc.partition());
     if (deca) {
@@ -210,6 +213,13 @@ WordCountResult RunWordCount(const WordCountParams& params) {
     }
   });
   ctx.shuffle()->Release(shuffle_id);
+
+  uint64_t total = 0;
+  uint64_t distinct = 0;
+  for (int p = 0; p < parts; ++p) {
+    total += part_total[static_cast<size_t>(p)];
+    distinct += part_distinct[static_cast<size_t>(p)];
+  }
 
   result.run.exec_ms = run_sw.ElapsedMillis();
   result.total_count = total;

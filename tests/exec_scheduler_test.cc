@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/metrics_sink.h"
+#include "exec/scheduler.h"
+#include "exec/stage_barrier.h"
+#include "exec/task_queue.h"
+
+namespace deca::exec {
+namespace {
+
+// -- TaskQueue ----------------------------------------------------------------
+
+TEST(TaskQueueTest, FifoOrder) {
+  TaskQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.Push([&order, i] { order.push_back(i); });
+  }
+  EXPECT_EQ(q.size(), 5u);
+  std::function<void()> fn;
+  while (q.size() > 0) {
+    ASSERT_TRUE(q.Pop(&fn));
+    fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(TaskQueueTest, CloseDrainsThenReturnsFalse) {
+  TaskQueue q;
+  int ran = 0;
+  q.Push([&ran] { ++ran; });
+  q.Push([&ran] { ++ran; });
+  q.Close();
+  std::function<void()> fn;
+  while (q.Pop(&fn)) fn();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(TaskQueueTest, PopBlocksUntilPush) {
+  TaskQueue q;
+  std::atomic<int> got{0};
+  std::thread consumer([&] {
+    std::function<void()> fn;
+    while (q.Pop(&fn)) fn();
+  });
+  q.Push([&got] { got.store(1); });
+  q.Close();
+  consumer.join();
+  EXPECT_EQ(got.load(), 1);
+}
+
+// -- StageBarrier -------------------------------------------------------------
+
+TEST(StageBarrierTest, WaitsForAllArrivals) {
+  StageBarrier barrier(3);
+  std::vector<std::thread> arrivers;
+  for (int i = 0; i < 3; ++i) {
+    arrivers.emplace_back([&barrier] { barrier.Arrive(); });
+  }
+  barrier.Wait();
+  EXPECT_EQ(barrier.arrived(), 3);
+  for (auto& t : arrivers) t.join();
+}
+
+TEST(StageBarrierTest, ZeroExpectedDoesNotBlock) {
+  StageBarrier barrier(0);
+  barrier.Wait();
+  EXPECT_EQ(barrier.arrived(), 0);
+}
+
+// -- TaskScheduler ------------------------------------------------------------
+
+TEST(TaskSchedulerTest, SequentialFallbackRunsInlineInPartitionOrder) {
+  TaskScheduler sched(4, /*num_worker_threads=*/0);
+  EXPECT_FALSE(sched.parallel());
+  std::thread::id driver = std::this_thread::get_id();
+  EXPECT_EQ(sched.MutatorThreadId(0), driver);
+  std::vector<int> order;
+  sched.RunStage(8, [&](int p, double queue_ms) {
+    EXPECT_EQ(std::this_thread::get_id(), driver);
+    EXPECT_EQ(queue_ms, 0.0);
+    order.push_back(p);
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(TaskSchedulerTest, PlacementIsDeterministic) {
+  TaskScheduler sched(4, /*num_worker_threads=*/2);
+  for (int p = 0; p < 16; ++p) {
+    EXPECT_EQ(sched.ExecutorOfPartition(p), p % 4);
+  }
+  // Executors are striped over the two workers.
+  EXPECT_EQ(sched.num_workers(), 2);
+  EXPECT_EQ(sched.WorkerOfExecutor(0), 0);
+  EXPECT_EQ(sched.WorkerOfExecutor(1), 1);
+  EXPECT_EQ(sched.WorkerOfExecutor(2), 0);
+  EXPECT_EQ(sched.WorkerOfExecutor(3), 1);
+}
+
+TEST(TaskSchedulerTest, WorkerCountIsCappedByExecutors) {
+  TaskScheduler sched(2, /*num_worker_threads=*/16);
+  EXPECT_EQ(sched.num_workers(), 2);
+}
+
+// Each executor must see its partitions in ascending order (the sequential
+// subsequence) no matter how workers interleave.
+TEST(TaskSchedulerTest, PerExecutorTasksRunInPartitionOrder) {
+  const int kExecutors = 4;
+  const int kPartitions = 32;
+  for (int threads : {1, 2, 4}) {
+    TaskScheduler sched(kExecutors, threads);
+    ASSERT_TRUE(sched.parallel());
+    std::vector<std::vector<int>> seen(kExecutors);
+    std::mutex mu;
+    sched.RunStage(kPartitions, [&](int p, double queue_ms) {
+      EXPECT_GE(queue_ms, 0.0);
+      std::lock_guard<std::mutex> lock(mu);
+      seen[static_cast<size_t>(sched.ExecutorOfPartition(p))].push_back(p);
+    });
+    for (int e = 0; e < kExecutors; ++e) {
+      std::vector<int> expected;
+      for (int p = e; p < kPartitions; p += kExecutors) expected.push_back(p);
+      EXPECT_EQ(seen[static_cast<size_t>(e)], expected)
+          << "executor " << e << " with " << threads << " threads";
+    }
+  }
+}
+
+// Tasks of the same executor run on one thread; that thread matches
+// MutatorThreadId.
+TEST(TaskSchedulerTest, ExecutorPinnedToOneThread) {
+  const int kExecutors = 4;
+  TaskScheduler sched(kExecutors, 2);
+  std::vector<std::thread::id> task_thread(16);
+  sched.RunStage(16, [&](int p, double) {
+    task_thread[static_cast<size_t>(p)] = std::this_thread::get_id();
+  });
+  for (int p = 0; p < 16; ++p) {
+    EXPECT_EQ(task_thread[static_cast<size_t>(p)],
+              sched.MutatorThreadId(sched.ExecutorOfPartition(p)))
+        << "partition " << p;
+  }
+}
+
+TEST(TaskSchedulerTest, RunStageIsABarrier) {
+  TaskScheduler sched(4, 4);
+  std::atomic<int> done{0};
+  sched.RunStage(32, [&](int, double) {
+    done.fetch_add(1, std::memory_order_relaxed);
+  });
+  // Every task completed before RunStage returned.
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(TaskSchedulerTest, LowestFailingPartitionWinsDeterministically) {
+  for (int threads : {0, 1, 4}) {
+    TaskScheduler sched(4, threads);
+    int caught = -1;
+    try {
+      sched.RunStage(8, [&](int p, double) {
+        if (p == 5 || p == 2) {
+          throw std::runtime_error("boom " + std::to_string(p));
+        }
+      });
+    } catch (const std::runtime_error& e) {
+      caught = e.what()[5] - '0';
+    }
+    // Sequential mode throws at the first failing partition (2) and the
+    // parallel mode rethrows the lowest failing slot — same answer.
+    EXPECT_EQ(caught, 2) << threads << " threads";
+  }
+}
+
+TEST(TaskSchedulerTest, SchedulerSurvivesAFailedStage) {
+  TaskScheduler sched(2, 2);
+  EXPECT_THROW(
+      sched.RunStage(4, [&](int, double) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+  // Later stages still run normally on the same workers.
+  std::atomic<int> ran{0};
+  sched.RunStage(4, [&](int, double) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(TaskSchedulerTest, ManyStagesStress) {
+  TaskScheduler sched(3, 3);
+  std::atomic<int> total{0};
+  for (int s = 0; s < 200; ++s) {
+    sched.RunStage(9, [&](int, double) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 200 * 9);
+}
+
+// -- MetricsSink --------------------------------------------------------------
+
+TEST(MetricsSinkTest, FoldsSlotsInPartitionOrder) {
+  MetricsSink sink;
+  sink.BeginStage(3);
+  // Report out of completion order; the fold must still be 0,1,2.
+  spark::TaskMetrics t2;
+  t2.total_ms = 30;
+  t2.queue_ms = 3;
+  sink.Report(2, t2);
+  spark::TaskMetrics t0;
+  t0.total_ms = 10;
+  t0.queue_ms = 1;
+  sink.Report(0, t0);
+  spark::TaskMetrics t1;
+  t1.total_ms = 20;
+  t1.queue_ms = 2;
+  sink.Report(1, t1);
+
+  spark::JobMetrics job;
+  sink.EndStage(&job);
+  EXPECT_DOUBLE_EQ(job.tasks.total_ms, 60.0);
+  EXPECT_DOUBLE_EQ(job.tasks.queue_ms, 6.0);
+  EXPECT_DOUBLE_EQ(job.slowest_task.total_ms, 30.0);
+}
+
+TEST(MetricsSinkTest, ConcurrentReportsAreSafe) {
+  MetricsSink sink;
+  const int kPartitions = 64;
+  sink.BeginStage(kPartitions);
+  std::vector<std::thread> reporters;
+  for (int p = 0; p < kPartitions; ++p) {
+    reporters.emplace_back([&sink, p] {
+      spark::TaskMetrics t;
+      t.total_ms = 1;
+      sink.Report(p, t);
+    });
+  }
+  for (auto& t : reporters) t.join();
+  spark::JobMetrics job;
+  sink.EndStage(&job);
+  EXPECT_DOUBLE_EQ(job.tasks.total_ms, static_cast<double>(kPartitions));
+}
+
+TEST(MetricsSinkTest, UnreportedSlotsAreSkipped) {
+  MetricsSink sink;
+  sink.BeginStage(4);
+  spark::TaskMetrics t;
+  t.total_ms = 5;
+  sink.Report(1, t);
+  spark::JobMetrics job;
+  sink.EndStage(&job);
+  EXPECT_DOUBLE_EQ(job.tasks.total_ms, 5.0);
+}
+
+}  // namespace
+}  // namespace deca::exec

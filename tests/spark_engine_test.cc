@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "common/random.h"
 #include "spark/context.h"
+#include "workloads/lr.h"
+#include "workloads/wordcount.h"
 
 namespace deca::spark {
 namespace {
@@ -264,15 +269,54 @@ TEST(CacheSwapTest, EvictsToDiskAndStreamsBack) {
 TEST(ShuffleServiceTest, ChunkRouting) {
   ShuffleService svc;
   int id = svc.RegisterShuffle(3);
-  svc.PutChunk(id, 0, {1, 2, 3});
-  svc.PutChunk(id, 2, {4});
-  svc.PutChunk(id, 0, {5, 6});
+  svc.PutChunk(id, 0, /*map_partition=*/0, {1, 2, 3});
+  svc.PutChunk(id, 2, /*map_partition=*/0, {4});
+  svc.PutChunk(id, 0, /*map_partition=*/1, {5, 6});
   EXPECT_EQ(svc.GetChunks(id, 0).size(), 2u);
   EXPECT_EQ(svc.GetChunks(id, 1).size(), 0u);
   EXPECT_EQ(svc.GetChunks(id, 2).size(), 1u);
   EXPECT_EQ(svc.total_bytes(id), 6u);
   svc.Release(id);
   EXPECT_EQ(svc.total_bytes(id), 0u);
+}
+
+// Reduce-side chunk order must be the map partition order regardless of
+// the order map tasks deposited them (the parallel runtime's determinism
+// contract).
+TEST(ShuffleServiceTest, ChunksSortedByMapPartition) {
+  ShuffleService svc;
+  int id = svc.RegisterShuffle(1);
+  svc.PutChunk(id, 0, /*map_partition=*/3, {30});
+  svc.PutChunk(id, 0, /*map_partition=*/0, {0});
+  svc.PutChunk(id, 0, /*map_partition=*/2, {20});
+  svc.PutChunk(id, 0, /*map_partition=*/1, {10});
+  const auto& chunks = svc.GetChunks(id, 0);
+  ASSERT_EQ(chunks.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(chunks[i][0], static_cast<uint8_t>(10 * i));
+  }
+}
+
+TEST(ShuffleServiceTest, ConcurrentPutChunkKeepsDeterministicOrder) {
+  ShuffleService svc;
+  const int kMappers = 32;
+  int id = svc.RegisterShuffle(2);
+  std::vector<std::thread> mappers;
+  for (int m = 0; m < kMappers; ++m) {
+    mappers.emplace_back([&svc, id, m] {
+      for (int r = 0; r < 2; ++r) {
+        svc.PutChunk(id, r, m, {static_cast<uint8_t>(m)});
+      }
+    });
+  }
+  for (auto& t : mappers) t.join();
+  for (int r = 0; r < 2; ++r) {
+    const auto& chunks = svc.GetChunks(id, r);
+    ASSERT_EQ(chunks.size(), static_cast<size_t>(kMappers));
+    for (int m = 0; m < kMappers; ++m) {
+      EXPECT_EQ(chunks[static_cast<size_t>(m)][0], static_cast<uint8_t>(m));
+    }
+  }
 }
 
 TEST(ObjectHashBufferTest, EagerCombineAggregates) {
@@ -381,14 +425,19 @@ TEST(DecaSortBufferTest, SortsByKey) {
   EXPECT_EQ(sorted, keys);
 }
 
-/// End-to-end two-stage word count through the shuffle service, in both
-/// object and Deca modes, verifying identical results.
-class MiniWordCountTest : public ::testing::TestWithParam<bool> {};
+/// End-to-end two-stage word count through the shuffle service. Factored
+/// into a helper so the parallel-equivalence tests below can run the same
+/// job with different worker-thread counts and compare outcomes bitwise.
+struct MiniWcOutcome {
+  std::map<int64_t, int64_t> totals;
+  // (minor, full) GC counts per executor heap.
+  std::vector<std::pair<uint64_t, uint64_t>> gc_per_executor;
+};
 
-TEST_P(MiniWordCountTest, TwoStageAggregation) {
-  bool deca = GetParam();
+MiniWcOutcome RunMiniWordCount(bool deca, int worker_threads) {
   SparkConfig cfg = SmallConfig();
   cfg.deca_shuffle = deca;
+  cfg.num_worker_threads = worker_threads;
   SparkContext ctx(cfg);
   SumShuffleModel model(ctx.registry());
   const int reducers = ctx.num_partitions();
@@ -411,12 +460,10 @@ TEST_P(MiniWordCountTest, TwoStageAggregation) {
                    reinterpret_cast<const uint8_t*>(&one));
       }
       buf.ForEach([&](const uint8_t* entry) {
-        int64_t key = LoadRaw<int64_t>(entry);
         uint64_t hash = model.ops.deca_key_hash(entry);
         ByteWriter& w = outs[hash % static_cast<uint64_t>(reducers)];
         // Raw decomposed bytes: no serialization.
         w.WriteBytes(entry, 16);
-        (void)key;
       });
     } else {
       ObjectHashShuffleBuffer buf(h, &model.ops);
@@ -439,15 +486,19 @@ TEST_P(MiniWordCountTest, TwoStageAggregation) {
       });
     }
     for (int r = 0; r < reducers; ++r) {
-      ctx.shuffle()->PutChunk(shuffle_id, r, outs[static_cast<size_t>(r)]
-                                                 .TakeBuffer());
+      ctx.shuffle()->PutChunk(shuffle_id, r, tc.partition(),
+                              outs[static_cast<size_t>(r)].TakeBuffer());
     }
   });
 
-  // Reduce stage: merge chunks and report totals.
-  std::map<int64_t, int64_t> totals;
+  // Reduce stage: merge chunks into per-partition maps (disjoint slots;
+  // merged in partition order after the barrier).
+  std::vector<std::map<int64_t, int64_t>> part_totals(
+      static_cast<size_t>(reducers));
   ctx.RunStage("reduce", [&](TaskContext& tc) {
     jvm::Heap* h = tc.heap();
+    std::map<int64_t, int64_t>& totals =
+        part_totals[static_cast<size_t>(tc.partition())];
     const auto& chunks =
         ctx.shuffle()->GetChunks(shuffle_id, tc.partition());
     if (deca) {
@@ -477,17 +528,83 @@ TEST_P(MiniWordCountTest, TwoStageAggregation) {
     }
   });
 
+  MiniWcOutcome outcome;
+  for (const auto& part : part_totals) {
+    for (const auto& [k, c] : part) outcome.totals[k] += c;
+  }
+  for (int e = 0; e < ctx.num_executors(); ++e) {
+    const auto& stats = ctx.executor(e)->heap()->stats();
+    outcome.gc_per_executor.emplace_back(stats.minor_count, stats.full_count);
+  }
+  return outcome;
+}
+
+class MiniWordCountTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(MiniWordCountTest, TwoStageAggregation) {
+  const int kWordsPerTask = 20000;
+  const int kDistinct = 500;
+  MiniWcOutcome o = RunMiniWordCount(GetParam(), /*worker_threads=*/0);
   // Every word counted exactly once across reducers.
   int64_t total = 0;
-  for (const auto& [k, c] : totals) total += c;
+  for (const auto& [k, c] : o.totals) total += c;
   EXPECT_EQ(total, 4ll * kWordsPerTask);
-  EXPECT_EQ(totals.size(), static_cast<size_t>(kDistinct));
+  EXPECT_EQ(o.totals.size(), static_cast<size_t>(kDistinct));
+}
+
+// The tentpole guarantee: running the same job on the parallel runtime
+// yields bit-identical results AND the same per-executor GC history.
+TEST_P(MiniWordCountTest, ParallelMatchesSequential) {
+  MiniWcOutcome seq = RunMiniWordCount(GetParam(), /*worker_threads=*/0);
+  for (int threads : {1, 2, 4}) {
+    MiniWcOutcome par = RunMiniWordCount(GetParam(), threads);
+    EXPECT_EQ(par.totals, seq.totals) << threads << " threads";
+    EXPECT_EQ(par.gc_per_executor, seq.gc_per_executor)
+        << threads << " threads";
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Modes, MiniWordCountTest, ::testing::Bool(),
                          [](const ::testing::TestParamInfo<bool>& info) {
                            return info.param ? "Deca" : "Spark";
                          });
+
+// Full workloads across the two modes: outputs (including float results)
+// and GC counts must match exactly.
+TEST(ParallelWorkloadEquivalenceTest, WordCount) {
+  workloads::WordCountParams p;
+  p.total_words = 120000;
+  p.distinct_keys = 3000;
+  p.spark = SmallConfig();
+  p.spark.num_executors = 4;
+  workloads::WordCountResult seq = workloads::RunWordCount(p);
+  p.spark.num_worker_threads = 4;
+  workloads::WordCountResult par = workloads::RunWordCount(p);
+  EXPECT_EQ(par.total_count, seq.total_count);
+  EXPECT_EQ(par.distinct_found, seq.distinct_found);
+  EXPECT_EQ(par.shuffle_bytes, seq.shuffle_bytes);
+  EXPECT_EQ(par.run.minor_gcs, seq.run.minor_gcs);
+  EXPECT_EQ(par.run.full_gcs, seq.run.full_gcs);
+}
+
+TEST(ParallelWorkloadEquivalenceTest, LogisticRegression) {
+  workloads::MlParams p;
+  p.num_points = 40000;
+  p.iterations = 3;
+  p.spark = SmallConfig();
+  p.spark.num_executors = 4;
+  workloads::LrResult seq = workloads::RunLogisticRegression(p);
+  p.spark.num_worker_threads = 4;
+  workloads::LrResult par = workloads::RunLogisticRegression(p);
+  ASSERT_EQ(par.weights.size(), seq.weights.size());
+  for (size_t j = 0; j < seq.weights.size(); ++j) {
+    // Bitwise equality: the per-partition gradient fold fixes the float
+    // accumulation order.
+    EXPECT_EQ(par.weights[j], seq.weights[j]) << "weight " << j;
+  }
+  EXPECT_EQ(par.run.minor_gcs, seq.run.minor_gcs);
+  EXPECT_EQ(par.run.full_gcs, seq.run.full_gcs);
+}
 
 }  // namespace
 }  // namespace deca::spark
