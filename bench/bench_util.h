@@ -18,6 +18,15 @@ namespace deca::bench {
 ///   DECA_EXECUTORS=N       executor count (default 2)
 ///   DECA_WORKER_THREADS=N  parallel runtime threads (default 0 =
 ///                          sequential driver loop)
+///
+/// Deterministic fault injection (default off; numbers are unchanged and
+/// no retry counters increment unless one of these is set):
+///   DECA_FAULT_SEED=N        injection seed (default 1)
+///   DECA_FAULT_TASK_PROB=P   per-attempt injected task-failure probability
+///   DECA_FAULT_FETCH_PROB=P  per-attempt shuffle-fetch failure probability
+///   DECA_FAULT_OOM_PROB=P    per-attempt forced allocation-failure prob.
+///   DECA_CRASH_WIPE_STAGE=N / DECA_CRASH_WIPE_EXECUTOR=E
+///                            crash-wipe executor E before stage N
 inline spark::SparkConfig DefaultSpark(size_t heap_mb = 64) {
   spark::SparkConfig cfg;
   cfg.num_executors = 2;
@@ -30,11 +39,67 @@ inline spark::SparkConfig DefaultSpark(size_t heap_mb = 64) {
     int n = std::atoi(e);
     if (n > 0) cfg.num_worker_threads = n;
   }
+  if (const char* e = std::getenv("DECA_FAULT_SEED")) {
+    cfg.fault.seed = std::strtoull(e, nullptr, 10);
+  }
+  if (const char* e = std::getenv("DECA_FAULT_TASK_PROB")) {
+    cfg.fault.task_failure_prob = std::atof(e);
+  }
+  if (const char* e = std::getenv("DECA_FAULT_FETCH_PROB")) {
+    cfg.fault.fetch_failure_prob = std::atof(e);
+  }
+  if (const char* e = std::getenv("DECA_FAULT_OOM_PROB")) {
+    cfg.fault.oom_failure_prob = std::atof(e);
+  }
+  if (const char* e = std::getenv("DECA_CRASH_WIPE_STAGE")) {
+    cfg.fault.crash_wipe_stage = std::atoi(e);
+  }
+  if (const char* e = std::getenv("DECA_CRASH_WIPE_EXECUTOR")) {
+    cfg.fault.crash_wipe_executor = std::atoi(e);
+  }
   cfg.heap.heap_bytes = heap_mb << 20;
   cfg.memory_fraction = 0.75;
   cfg.spill_dir = "/tmp/deca_bench_spill";
   return cfg;
 }
+
+/// Accumulates the fault-tolerance counters across a bench's runs and
+/// prints a summary table — only when something actually fired, so
+/// fault-free bench output is byte-identical to before.
+struct FaultTotals {
+  uint64_t task_retries = 0;
+  uint64_t injected_faults = 0;
+  uint64_t executor_wipes = 0;
+  uint64_t recomputed_blocks = 0;
+  uint64_t pressure_evictions = 0;
+  uint64_t oom_recoveries = 0;
+
+  void Add(const workloads::RunResult& r) {
+    task_retries += r.task_retries;
+    injected_faults += r.injected_faults;
+    executor_wipes += r.executor_wipes;
+    recomputed_blocks += r.recomputed_blocks;
+    pressure_evictions += r.pressure_evictions;
+    oom_recoveries += r.oom_recoveries;
+  }
+  bool any() const {
+    return task_retries + injected_faults + executor_wipes +
+               recomputed_blocks + pressure_evictions + oom_recoveries >
+           0;
+  }
+  void PrintIfAny() const {
+    if (!any()) return;
+    std::printf("\nFault tolerance (injection active):\n");
+    TablePrinter t({"retries", "injected", "wipes", "recomputed",
+                    "evictions", "oom rescues"});
+    t.AddRow({std::to_string(task_retries), std::to_string(injected_faults),
+              std::to_string(executor_wipes),
+              std::to_string(recomputed_blocks),
+              std::to_string(pressure_evictions),
+              std::to_string(oom_recoveries)});
+    t.Print();
+  }
+};
 
 inline void PrintHeader(const std::string& title, const std::string& paper_ref,
                         const std::string& notes) {

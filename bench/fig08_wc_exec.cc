@@ -15,6 +15,7 @@ int main() {
   PrintHeader("Figure 8(b): WordCount execution time",
               "Fig. 8(b) — sizes {50,100,150}GB x keys {10M,100M}",
               "Scaled: words {1M,2M,3M} x distinct keys {20k,200k}");
+  FaultTotals faults;
   TablePrinter t({"keys", "words", "Spark exec(ms)", "Spark gc(ms)",
                   "Deca exec(ms)", "Deca gc(ms)", "reduction", "speedup"});
   for (uint64_t keys : {20'000ull, 200'000ull}) {
@@ -27,6 +28,8 @@ int main() {
       WordCountResult spark = RunWordCount(p);
       p.mode = Mode::kDeca;
       WordCountResult deca = RunWordCount(p);
+      faults.Add(spark.run);
+      faults.Add(deca.run);
       t.AddRow({std::to_string(keys), std::to_string(words),
                 Ms(spark.run.exec_ms), Ms(spark.run.gc_ms),
                 Ms(deca.run.exec_ms), Ms(deca.run.gc_ms),
@@ -36,6 +39,7 @@ int main() {
     }
   }
   t.Print();
+  faults.PrintIfAny();
   std::printf(
       "\nExpected shape: Deca wins everywhere; Spark's GC share (and the\n"
       "absolute gap) grows with the number of distinct keys.\n");

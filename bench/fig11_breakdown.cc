@@ -26,6 +26,7 @@ int main() {
   PrintHeader("Figure 11: slowest-task execution time breakdown",
               "Fig. 11 — compute / GC / (de)ser / shuffle per task",
               "LR-small (fits), LR-large (GC + swap), PR (shuffle-heavy)");
+  FaultTotals faults;
   TablePrinter t({"job", "mode", "total(ms)", "compute", "gc", "(de)ser",
                   "shuf read", "shuf write", "disk", "queue"});
   for (Mode mode : {Mode::kSpark, Mode::kSparkSer, Mode::kDeca}) {
@@ -36,6 +37,7 @@ int main() {
     p.spark = DefaultSpark();
     p.spark.storage_fraction = 0.9;
     LrResult r = RunLogisticRegression(p);
+    faults.Add(r.run);
     AddBreakdown(&t, "LR-small", ModeName(mode), r.run.slowest_task);
   }
   for (Mode mode : {Mode::kSpark, Mode::kSparkSer, Mode::kDeca}) {
@@ -46,6 +48,7 @@ int main() {
     p.spark = DefaultSpark();
     p.spark.storage_fraction = 0.9;
     LrResult r = RunLogisticRegression(p);
+    faults.Add(r.run);
     AddBreakdown(&t, "LR-large", ModeName(mode), r.run.slowest_task);
   }
   for (Mode mode : {Mode::kSpark, Mode::kSparkSer, Mode::kDeca}) {
@@ -58,9 +61,11 @@ int main() {
     p.spark.partitions_per_executor = 4;
     p.spark.storage_fraction = 0.4;
     PageRankResult r = RunPageRank(p);
+    faults.Add(r.run);
     AddBreakdown(&t, "PR", ModeName(mode), r.run.slowest_task);
   }
   t.Print();
+  faults.PrintIfAny();
   std::printf(
       "\nExpected shape (paper Fig. 11): LR-small — SparkSer's bar is\n"
       "dominated by deserialization; LR-large — Spark's bar is dominated\n"

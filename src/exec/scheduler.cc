@@ -28,7 +28,8 @@ std::thread::id TaskScheduler::MutatorThreadId(int executor) const {
       ->thread_id();
 }
 
-void TaskScheduler::RunStage(int num_partitions, const StageTask& task) {
+void TaskScheduler::RunStage(int num_partitions, const StageTask& task,
+                             const char* stage_name) {
   if (!parallel()) {
     for (int p = 0; p < num_partitions; ++p) task(p, /*queue_ms=*/0.0);
     return;
@@ -54,8 +55,29 @@ void TaskScheduler::RunStage(int num_partitions, const StageTask& task) {
         });
   }
   barrier.Wait();
-  for (auto& e : errors) {
-    if (e) std::rethrow_exception(e);
+  int first_failed = -1;
+  for (int p = 0; p < num_partitions; ++p) {
+    if (!errors[static_cast<size_t>(p)]) continue;
+    if (first_failed < 0) {
+      first_failed = p;
+      continue;
+    }
+    // Only the lowest failing partition's exception propagates; log the
+    // rest so they are not silently swallowed.
+    try {
+      std::rethrow_exception(errors[static_cast<size_t>(p)]);
+    } catch (const std::exception& ex) {
+      DECA_LOG(Warning) << "stage '" << stage_name
+                        << "': suppressed failure in partition " << p << ": "
+                        << ex.what();
+    } catch (...) {
+      DECA_LOG(Warning) << "stage '" << stage_name
+                        << "': suppressed non-standard exception in partition "
+                        << p;
+    }
+  }
+  if (first_failed >= 0) {
+    std::rethrow_exception(errors[static_cast<size_t>(first_failed)]);
   }
 }
 

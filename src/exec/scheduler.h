@@ -67,8 +67,10 @@ class TaskScheduler {
   /// [0, num_partitions). Returns after the stage barrier. If tasks
   /// threw, rethrows the exception of the lowest-numbered failing
   /// partition (deterministic); the remaining tasks still run to
-  /// completion first.
-  void RunStage(int num_partitions, const StageTask& task);
+  /// completion first, and their suppressed failures are logged with
+  /// `stage_name` so multi-partition failures are diagnosable.
+  void RunStage(int num_partitions, const StageTask& task,
+                const char* stage_name = "");
 
  private:
   int num_executors_;

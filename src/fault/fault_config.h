@@ -1,0 +1,44 @@
+#ifndef DECA_FAULT_FAULT_CONFIG_H_
+#define DECA_FAULT_FAULT_CONFIG_H_
+
+#include <cstdint>
+
+namespace deca::fault {
+
+/// Deterministic fault-injection plan for one application run. All
+/// injection decisions are pure functions of (seed, stage, partition,
+/// attempt), so a plan reproduces exactly across sequential and parallel
+/// executions of the same job. Disabled by default: a default-constructed
+/// config injects nothing.
+struct FaultConfig {
+  /// Seed for the per-(stage, partition, attempt) decision hash.
+  uint64_t seed = 1;
+
+  /// Probability that a task attempt fails at start with an
+  /// InjectedTaskFailure (models lost executors/JVM crashes mid-task).
+  double task_failure_prob = 0.0;
+
+  /// Probability that a task attempt fails at start with a
+  /// ShuffleFetchFailure (models unreachable remote shuffle blocks).
+  double fetch_failure_prob = 0.0;
+
+  /// Probability that a task attempt's first managed-heap allocation is
+  /// forced to fail, surfacing as a retryable TaskOomFailure.
+  double oom_failure_prob = 0.0;
+
+  /// Crash-wipe `crash_wipe_executor` (heap + cache + map outputs) at the
+  /// boundary before stage `crash_wipe_stage` (stages are numbered from 0
+  /// in RunStage call order). -1 disables the wipe.
+  int crash_wipe_stage = -1;
+  int crash_wipe_executor = -1;
+
+  bool enabled() const {
+    return task_failure_prob > 0.0 || fetch_failure_prob > 0.0 ||
+           oom_failure_prob > 0.0 ||
+           (crash_wipe_stage >= 0 && crash_wipe_executor >= 0);
+  }
+};
+
+}  // namespace deca::fault
+
+#endif  // DECA_FAULT_FAULT_CONFIG_H_

@@ -1,0 +1,61 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+
+namespace deca::fault {
+
+namespace {
+
+/// splitmix64 finalizer: a high-quality 64-bit mix.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultConfig& config, int max_task_failures)
+    : config_(config), max_attempts_(std::max(1, max_task_failures)) {}
+
+bool FaultInjector::Fire(uint64_t kind_salt, int stage, int partition,
+                         int attempt, double prob) const {
+  if (prob <= 0.0) return false;
+  uint64_t h = Mix(config_.seed ^ kind_salt);
+  h = Mix(h ^ static_cast<uint64_t>(stage));
+  h = Mix(h ^ static_cast<uint64_t>(partition));
+  h = Mix(h ^ static_cast<uint64_t>(attempt));
+  // Top 53 bits -> uniform double in [0, 1).
+  double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < prob;
+}
+
+void FaultInjector::OnTaskAttempt(int stage, int partition, int attempt,
+                                  jvm::Heap* heap) {
+  if (!enabled()) return;
+  // The last allowed attempt always runs clean: an injection plan can slow
+  // a job down but never fail one that would otherwise succeed.
+  if (attempt >= max_attempts_ - 1) return;
+  if (Fire(0x7a5bULL, stage, partition, attempt, config_.task_failure_prob)) {
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    throw InjectedTaskFailure(stage, partition, attempt);
+  }
+  if (Fire(0xfe7cULL, stage, partition, attempt, config_.fetch_failure_prob)) {
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    throw ShuffleFetchFailure(stage, partition, attempt);
+  }
+  if (Fire(0x00a1ULL, stage, partition, attempt, config_.oom_failure_prob)) {
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    heap->ForceAllocationFailures(1);
+  }
+}
+
+int FaultInjector::CrashWipeBefore(int stage) const {
+  if (config_.crash_wipe_stage == stage && config_.crash_wipe_executor >= 0) {
+    return config_.crash_wipe_executor;
+  }
+  return -1;
+}
+
+}  // namespace deca::fault

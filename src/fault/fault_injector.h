@@ -1,0 +1,55 @@
+#ifndef DECA_FAULT_FAULT_INJECTOR_H_
+#define DECA_FAULT_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "fault/fault_config.h"
+#include "fault/task_failure.h"
+#include "jvm/heap.h"
+
+namespace deca::fault {
+
+/// Fires the faults described by a FaultConfig. Every decision is a pure
+/// hash of (seed, kind, stage, partition, attempt), so a plan replays
+/// identically whether tasks run sequentially on the driver or on the
+/// parallel executor threads.
+///
+/// Determinism-by-construction guarantees:
+///  - Task and fetch failures throw at attempt start, before the task body
+///    touches the heap — a retried attempt replays the exact allocation
+///    history the fault-free run would have produced.
+///  - Forced allocation failures arm the heap so the attempt's first
+///    allocation throws before any externally visible write; the armed
+///    counter never leaks across attempts (the retry wrapper clears it).
+///  - No fault ever fires on a task's last allowed attempt, so an enabled
+///    plan cannot fail a job that would otherwise succeed.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultConfig& config, int max_task_failures);
+
+  bool enabled() const { return config_.enabled(); }
+
+  /// Called at the start of every task attempt, on the heap's mutator
+  /// thread. Throws InjectedTaskFailure / ShuffleFetchFailure, or arms one
+  /// forced allocation failure on `heap`.
+  void OnTaskAttempt(int stage, int partition, int attempt, jvm::Heap* heap);
+
+  /// The executor to crash-wipe at the boundary before `stage`, or -1.
+  int CrashWipeBefore(int stage) const;
+
+  /// Drains the count of faults fired since the last call (thread-safe).
+  uint64_t TakeFired() { return fired_.exchange(0, std::memory_order_relaxed); }
+
+ private:
+  bool Fire(uint64_t kind_salt, int stage, int partition, int attempt,
+            double prob) const;
+
+  FaultConfig config_;
+  int max_attempts_;
+  std::atomic<uint64_t> fired_{0};
+};
+
+}  // namespace deca::fault
+
+#endif  // DECA_FAULT_FAULT_INJECTOR_H_

@@ -1,0 +1,66 @@
+#ifndef DECA_FAULT_TASK_FAILURE_H_
+#define DECA_FAULT_TASK_FAILURE_H_
+
+#include <stdexcept>
+#include <string>
+
+namespace deca::fault {
+
+/// Base of the retryable task-failure hierarchy. The engine retries a
+/// task that throws a TaskFailure on the same executor — in the same
+/// per-executor FIFO slot, so the heap's allocation/GC history stays the
+/// sequential one — up to SparkConfig::max_task_failures attempts; any
+/// other exception type is treated as a programming error and propagates
+/// immediately.
+class TaskFailure : public std::runtime_error {
+ public:
+  TaskFailure(const std::string& kind, int stage, int partition, int attempt)
+      : std::runtime_error(kind + " (stage " + std::to_string(stage) +
+                           ", partition " + std::to_string(partition) +
+                           ", attempt " + std::to_string(attempt) + ")"),
+        stage_(stage),
+        partition_(partition),
+        attempt_(attempt) {}
+
+  int stage() const { return stage_; }
+  int partition() const { return partition_; }
+  int attempt() const { return attempt_; }
+
+ private:
+  int stage_;
+  int partition_;
+  int attempt_;
+};
+
+/// An injected task failure (models an executor dying mid-task).
+class InjectedTaskFailure : public TaskFailure {
+ public:
+  InjectedTaskFailure(int stage, int partition, int attempt)
+      : TaskFailure("injected task failure", stage, partition, attempt) {}
+};
+
+/// A failed shuffle-fetch read (models unreachable remote map outputs).
+class ShuffleFetchFailure : public TaskFailure {
+ public:
+  ShuffleFetchFailure(int stage, int partition, int attempt)
+      : TaskFailure("shuffle fetch failure", stage, partition, attempt) {}
+};
+
+/// A managed-heap allocation failure that survived the degradation ladder
+/// (cache eviction + full collection + retry). Carries the collector
+/// state dump captured at the failure point.
+class TaskOomFailure : public TaskFailure {
+ public:
+  TaskOomFailure(int stage, int partition, int attempt, std::string heap_dump)
+      : TaskFailure("task OOM", stage, partition, attempt),
+        heap_dump_(std::move(heap_dump)) {}
+
+  const std::string& heap_dump() const { return heap_dump_; }
+
+ private:
+  std::string heap_dump_;
+};
+
+}  // namespace deca::fault
+
+#endif  // DECA_FAULT_TASK_FAILURE_H_

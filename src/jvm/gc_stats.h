@@ -22,6 +22,10 @@ struct GcStats {
   uint64_t objects_allocated = 0;
   uint64_t bytes_allocated = 0;
 
+  /// Allocation failures rescued by the OOM degradation ladder (cache
+  /// eviction under pressure + one full collection + retry).
+  uint64_t oom_recoveries = 0;
+
   /// Total stop-the-world GC time; this is the "gc" column of the paper's
   /// tables.
   double TotalPauseMs() const { return minor_pause_ms + full_pause_ms; }

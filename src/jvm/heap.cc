@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <sstream>
 #include <unordered_set>
 
 #include "jvm/g1_collector.h"
@@ -30,20 +31,49 @@ Heap::Heap(const HeapConfig& config, ClassRegistry* registry)
   buffer_ = std::make_unique<uint8_t[]>(buffer_bytes_);
   base_ = buffer_.get();
   DECA_CHECK_EQ(reinterpret_cast<uintptr_t>(base_) % alignof(uint64_t), 0u);
-  switch (config.algorithm) {
-    case GcAlgorithm::kParallelScavenge:
-      collector_ = std::make_unique<PsCollector>(this, config);
-      break;
-    case GcAlgorithm::kConcurrentMarkSweep:
-      collector_ = std::make_unique<CmsCollector>(this, config);
-      break;
-    case GcAlgorithm::kG1:
-      collector_ = std::make_unique<G1Collector>(this, config);
-      break;
-  }
+  collector_ = MakeCollector();
 }
 
 Heap::~Heap() = default;
+
+std::unique_ptr<Collector> Heap::MakeCollector() {
+  switch (config_.algorithm) {
+    case GcAlgorithm::kParallelScavenge:
+      return std::make_unique<PsCollector>(this, config_);
+    case GcAlgorithm::kConcurrentMarkSweep:
+      return std::make_unique<CmsCollector>(this, config_);
+    case GcAlgorithm::kG1:
+      return std::make_unique<G1Collector>(this, config_);
+  }
+  DECA_LOG(Fatal) << "unknown GC algorithm";
+  return nullptr;
+}
+
+void Heap::Reset() {
+  AssertMutator();
+  collector_.reset();
+  // Zero the buffer so a replayed allocation history observes exactly the
+  // bytes a freshly constructed heap would (make_unique value-initializes).
+  std::memset(base_, 0, buffer_bytes_);
+  collector_ = MakeCollector();
+  stats_ = GcStats();
+  gc_epoch_ = 0;
+  handle_slots_.clear();
+  handle_top_ = 0;
+  forced_alloc_failures_ = 0;
+}
+
+std::string Heap::DumpState() const {
+  std::ostringstream os;
+  os << collector_->name() << " heap: used " << used_bytes() << "/"
+     << capacity_bytes() << " bytes (old gen " << old_used_bytes()
+     << "), minor GCs " << stats_.minor_count << ", full GCs "
+     << stats_.full_count << ", allocated " << stats_.bytes_allocated
+     << " bytes / " << stats_.objects_allocated << " objects, promoted "
+     << stats_.objects_promoted << ", oom recoveries "
+     << stats_.oom_recoveries << "; " << collector_->DebugString();
+  return os.str();
+}
 
 ObjRef Heap::AllocateImpl(uint32_t class_id, uint32_t length,
                           bool die_on_oom) {
@@ -51,13 +81,38 @@ ObjRef Heap::AllocateImpl(uint32_t class_id, uint32_t length,
   const ClassInfo& ci = registry_->Get(class_id);
   uint32_t total = ci.ObjectBytes(length);
   bool large = total >= config_.large_object_bytes;
-  uint8_t* p = collector_->AllocateRaw(total, large);
+  bool forced = false;
+  uint8_t* p = nullptr;
+  if (forced_alloc_failures_ > 0) {
+    // Injected failure: surfaces directly, bypassing the degradation
+    // ladder, so a retried attempt replays an unperturbed heap history
+    // (no extra collections, no evictions).
+    --forced_alloc_failures_;
+    forced = true;
+  } else {
+    p = collector_->AllocateRaw(total, large);
+  }
+  if (p == nullptr && !forced && oom_handler_ && !in_oom_handler_) {
+    // Graceful degradation: let the owner shed externally pinned memory
+    // (cache eviction under pressure), then run one full collection to
+    // reclaim the unpinned objects and retry the allocation once.
+    in_oom_handler_ = true;
+    bool shed = oom_handler_(total);
+    in_oom_handler_ = false;
+    if (shed) {
+      collector_->CollectFull();
+      p = collector_->AllocateRaw(total, large);
+      if (p != nullptr) ++stats_.oom_recoveries;
+    }
+  }
   if (p == nullptr) {
     if (die_on_oom) {
+      std::string dump = DumpState();
+      if (oom_throws_) {
+        throw OutOfMemoryError(total, ci.name(), std::move(dump), forced);
+      }
       DECA_LOG(Fatal) << "managed heap OOM allocating " << total
-                      << " bytes of " << ci.name() << " (used "
-                      << used_bytes() << "/" << capacity_bytes() << ", "
-                      << collector_->name() << ") " << collector_->DebugString();
+                      << " bytes of " << ci.name() << "; " << dump;
     }
     return kNullRef;
   }

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -20,6 +22,33 @@
 namespace deca::jvm {
 
 class Heap;
+
+/// Thrown (instead of aborting) when a heap with `oom_throws` enabled
+/// cannot satisfy an allocation even after its degradation ladder. The
+/// engine's task-retry layer converts it into a retryable TaskOomFailure.
+class OutOfMemoryError : public std::runtime_error {
+ public:
+  OutOfMemoryError(uint32_t bytes_requested, const std::string& class_name,
+                   std::string heap_dump, bool injected)
+      : std::runtime_error("managed heap OOM allocating " +
+                           std::to_string(bytes_requested) + " bytes of " +
+                           class_name + (injected ? " (injected)" : "")),
+        bytes_requested_(bytes_requested),
+        injected_(injected),
+        heap_dump_(std::move(heap_dump)) {}
+
+  uint32_t bytes_requested() const { return bytes_requested_; }
+  /// True when the failure was forced by fault injection rather than a
+  /// genuinely exhausted heap.
+  bool injected() const { return injected_; }
+  /// Collector state dump captured at the failure point.
+  const std::string& heap_dump() const { return heap_dump_; }
+
+ private:
+  uint32_t bytes_requested_;
+  bool injected_;
+  std::string heap_dump_;
+};
 
 /// Supplies additional GC roots (e.g. a cache manager's block references).
 /// Providers are visited at every collection; they must call `fn` with the
@@ -241,6 +270,44 @@ class Heap {
   const GcStats& stats() const { return stats_; }
   GcStats& mutable_stats() { return stats_; }
 
+  // -- OOM policy & fault tolerance ----------------------------------------
+
+  /// Last-resort memory-pressure valve, invoked on the mutator thread when
+  /// a collection cannot satisfy an allocation. `need_bytes` is the failed
+  /// request; the handler sheds external pinned memory (e.g. evicts cached
+  /// blocks to disk) and returns true if it freed anything — the heap then
+  /// runs one full collection and retries the allocation once. The handler
+  /// must not allocate from this heap.
+  using OomHandler = std::function<bool(size_t need_bytes)>;
+  void SetOomHandler(OomHandler handler) { oom_handler_ = std::move(handler); }
+
+  /// When enabled, an unrecovered OOM on the aborting allocation path
+  /// throws OutOfMemoryError instead of terminating the process. The
+  /// engine enables this on executor heaps so the task-retry layer can
+  /// degrade gracefully; standalone heaps keep the fail-fast abort.
+  void set_oom_throws(bool value) { oom_throws_ = value; }
+  bool oom_throws() const { return oom_throws_; }
+
+  /// Arms `n` forced allocation failures (fault injection): each of the
+  /// next `n` allocations fails immediately, bypassing the degradation
+  /// ladder so the heap state is not perturbed. Pass 0 to disarm.
+  void ForceAllocationFailures(uint32_t n) {
+    AssertMutator();
+    forced_alloc_failures_ = n;
+  }
+
+  /// Wipes the heap back to its just-constructed state: all objects and
+  /// handles are gone, the collector is rebuilt, stats and GC epochs
+  /// restart from zero. Simulates replacing a crashed executor process.
+  /// Root providers stay registered — callers must have dropped their
+  /// stale references first (wipe listeners), exactly as a replacement
+  /// process starts with empty containers.
+  void Reset();
+
+  /// Multi-line diagnostics dump (occupancy, GC counters, collector
+  /// internals) for OOM post-mortems.
+  std::string DumpState() const;
+
   ClassRegistry* registry() const { return registry_; }
   const HeapConfig& config() const { return config_; }
   Collector* collector() const { return collector_.get(); }
@@ -302,6 +369,7 @@ class Heap {
   friend class Handle;
 
   ObjRef AllocateImpl(uint32_t class_id, uint32_t length, bool die_on_oom);
+  std::unique_ptr<Collector> MakeCollector();
 
   HeapConfig config_;
   ClassRegistry* registry_;
@@ -316,6 +384,11 @@ class Heap {
   size_t handle_top_ = 0;
   std::vector<RootProvider*> root_providers_;
   std::atomic<std::thread::id> mutator_{std::this_thread::get_id()};
+
+  OomHandler oom_handler_;
+  bool oom_throws_ = false;
+  bool in_oom_handler_ = false;
+  uint32_t forced_alloc_failures_ = 0;
 };
 
 /// RAII scope for handles: releases every handle created after its

@@ -1,6 +1,8 @@
 #include "spark/block_store.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 
 #include "common/clock.h"
@@ -24,7 +26,8 @@ namespace {
 
 void WriteFile(const std::string& path, const uint8_t* data, size_t size) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
-  DECA_CHECK(f != nullptr) << "cannot open swap file " << path;
+  DECA_CHECK(f != nullptr) << "cannot open swap file for writing: " << path
+                           << ": " << std::strerror(errno);
   if (size > 0) {
     size_t n = std::fwrite(data, 1, size, f);
     DECA_CHECK_EQ(n, size);
@@ -34,7 +37,8 @@ void WriteFile(const std::string& path, const uint8_t* data, size_t size) {
 
 std::vector<uint8_t> ReadFile(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  DECA_CHECK(f != nullptr) << "cannot open swap file " << path;
+  DECA_CHECK(f != nullptr) << "cannot open swap file for reading: " << path
+                           << ": " << std::strerror(errno);
   std::fseek(f, 0, SEEK_END);
   long size = std::ftell(f);
   std::fseek(f, 0, SEEK_SET);
@@ -53,7 +57,10 @@ CacheManager::CacheManager(jvm::Heap* heap, const SparkConfig* config,
                            int executor_id)
     : heap_(heap), cfg_(config), executor_id_(executor_id) {
   heap_->AddRootProvider(this);
-  std::filesystem::create_directories(cfg_->spill_dir);
+  std::error_code ec;
+  std::filesystem::create_directories(cfg_->spill_dir, ec);
+  DECA_CHECK(!ec) << "cannot create spill dir " << cfg_->spill_dir << ": "
+                  << ec.message();
 }
 
 CacheManager::~CacheManager() {
@@ -131,9 +138,9 @@ void CacheManager::PutObjects(BlockKey key, jvm::ObjRef records,
     e.bytes = EstimateObjectBlockBytes(ops, records, count);
   }
   e.lru_tick = ++lru_clock_;
-  auto [it, inserted] = blocks_.insert_or_assign(key, std::move(e));
-  (void)it;
-  DECA_CHECK(inserted) << "block cached twice";
+  // A retried task may re-deposit its block: replace the old copy.
+  Evict(key);
+  blocks_.emplace(key, std::move(e));
   uint64_t now = memory_bytes_ += blocks_[key].bytes;
   if (now > peak_memory_bytes_.load(std::memory_order_relaxed)) {
     peak_memory_bytes_.store(now, std::memory_order_relaxed);
@@ -150,9 +157,9 @@ void CacheManager::PutPages(BlockKey key,
   e.pages = std::move(pages);
   e.bytes = e.pages->footprint_bytes();
   e.lru_tick = ++lru_clock_;
-  auto [it, inserted] = blocks_.insert_or_assign(key, std::move(e));
-  (void)it;
-  DECA_CHECK(inserted) << "block cached twice";
+  // A retried task may re-deposit its block: replace the old copy.
+  Evict(key);
+  blocks_.emplace(key, std::move(e));
   uint64_t now = memory_bytes_ += blocks_[key].bytes;
   if (now > peak_memory_bytes_.load(std::memory_order_relaxed)) {
     peak_memory_bytes_.store(now, std::memory_order_relaxed);
@@ -278,19 +285,52 @@ void CacheManager::SwapOut(BlockKey key, Entry* e, TaskMetrics* metrics) {
 void CacheManager::EnforceBudget(TaskMetrics* metrics) {
   size_t budget = cfg_->storage_budget_bytes();
   while (memory_bytes_ > budget) {
-    // Pick the least-recently-used in-memory block.
-    BlockKey victim{};
-    uint64_t best_tick = UINT64_MAX;
-    for (auto& [key, e] : blocks_) {
-      if (e.on_disk) continue;
-      if (e.lru_tick < best_tick) {
-        best_tick = e.lru_tick;
-        victim = key;
-      }
-    }
-    if (best_tick == UINT64_MAX) return;  // nothing left to evict
-    SwapOut(victim, &blocks_[victim], metrics);
+    if (!SwapOutLru(metrics)) return;  // nothing left to evict
   }
+}
+
+bool CacheManager::SwapOutLru(TaskMetrics* metrics) {
+  // Pick the least-recently-used in-memory block.
+  BlockKey victim{};
+  uint64_t best_tick = UINT64_MAX;
+  for (auto& [key, e] : blocks_) {
+    if (e.on_disk) continue;
+    if (e.lru_tick < best_tick) {
+      best_tick = e.lru_tick;
+      victim = key;
+    }
+  }
+  if (best_tick == UINT64_MAX) return false;
+  SwapOut(victim, &blocks_[victim], metrics);
+  return true;
+}
+
+uint64_t CacheManager::EvictUnderPressure(uint64_t need_bytes) {
+  // Called from the heap's OOM handler: swap in-memory blocks out to disk
+  // (LRU first) until roughly `need_bytes` of managed memory has been
+  // unpinned, so the follow-up full collection can reclaim it.
+  uint64_t freed = 0;
+  uint64_t evicted = 0;
+  TaskMetrics scratch;  // disk time charged to the task via spill counters
+  while (freed < need_bytes) {
+    uint64_t before = memory_bytes_.load(std::memory_order_relaxed);
+    if (!SwapOutLru(&scratch)) break;
+    freed += before - memory_bytes_.load(std::memory_order_relaxed);
+    ++evicted;
+  }
+  pressure_evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  return evicted;
+}
+
+void CacheManager::DropAllForWipe() {
+  // A crash-wipe loses everything the executor held: in-memory blocks and
+  // their swap files alike. Lineage recovery rebuilds them on next access.
+  for (auto& [key, e] : blocks_) {
+    if (!e.disk_path.empty()) std::remove(e.disk_path.c_str());
+  }
+  blocks_.clear();
+  memory_bytes_.store(0, std::memory_order_relaxed);
+  disk_bytes_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace deca::spark

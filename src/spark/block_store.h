@@ -91,6 +91,21 @@ class CacheManager : public jvm::RootProvider {
   /// Drops a block entirely (unpersist).
   void Evict(BlockKey key);
 
+  /// OOM degradation hook: swaps LRU in-memory blocks to disk until about
+  /// `need_bytes` of managed memory has been unpinned. Returns the number
+  /// of blocks evicted (0 when nothing was in memory).
+  uint64_t EvictUnderPressure(uint64_t need_bytes);
+
+  /// Simulated executor crash: drops every block (memory and swap files)
+  /// and zeroes the byte counters. Lost blocks are recomputed from lineage
+  /// on the next access.
+  void DropAllForWipe();
+
+  /// Blocks swapped out by the OOM degradation ladder.
+  uint64_t pressure_evictions() const {
+    return pressure_evictions_.load(std::memory_order_relaxed);
+  }
+
   /// Total bytes of blocks currently held in memory.
   uint64_t memory_bytes() const {
     return memory_bytes_.load(std::memory_order_relaxed);
@@ -130,6 +145,8 @@ class CacheManager : public jvm::RootProvider {
 
   /// Evicts LRU blocks to disk until the storage budget is respected.
   void EnforceBudget(TaskMetrics* metrics);
+  /// Swaps out the least-recently-used in-memory block; false if none.
+  bool SwapOutLru(TaskMetrics* metrics);
   void SwapOut(BlockKey key, Entry* e, TaskMetrics* metrics);
   std::string SwapPath(BlockKey key) const;
 
@@ -145,6 +162,7 @@ class CacheManager : public jvm::RootProvider {
   std::atomic<uint64_t> disk_bytes_{0};
   std::atomic<uint64_t> peak_memory_bytes_{0};
   std::atomic<uint64_t> swap_out_count_{0};
+  std::atomic<uint64_t> pressure_evictions_{0};
   uint64_t lru_clock_ = 0;
 };
 

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "fault/fault_config.h"
 #include "jvm/heap_config.h"
 
 namespace deca::spark {
@@ -52,8 +53,18 @@ struct SparkConfig {
   /// Size of Deca's logical memory pages.
   uint32_t deca_page_bytes = 64u << 10;
 
-  /// Directory for cache swap and shuffle spill files.
+  /// Directory for cache swap and shuffle spill files. Each SparkContext
+  /// appends a unique per-context suffix (pid + counter) and removes its
+  /// directory on destruction, so concurrent contexts never collide.
   std::string spill_dir = "/tmp/deca_spill";
+
+  /// Maximum attempts per task (Spark's spark.task.maxFailures). A task
+  /// that throws a retryable failure is re-run on the same executor, in
+  /// the same per-executor FIFO slot, up to this many times.
+  int max_task_failures = 4;
+
+  /// Deterministic fault injection (disabled by default).
+  fault::FaultConfig fault;
 
   size_t storage_budget_bytes() const {
     return static_cast<size_t>(static_cast<double>(heap.heap_bytes) *

@@ -1,5 +1,9 @@
 #include "spark/context.h"
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
 #include <thread>
 
 #include "common/clock.h"
@@ -36,41 +40,181 @@ class ScopedHeapOwnership {
 
 }  // namespace
 
+namespace {
+/// Distinguishes concurrent contexts within one process in spill paths.
+std::atomic<uint64_t> g_next_context_id{0};
+}  // namespace
+
 SparkContext::SparkContext(const SparkConfig& config)
     : config_(config),
-      scheduler_(config.num_executors, config.num_worker_threads) {
+      scheduler_(config.num_executors, config.num_worker_threads),
+      injector_(config.fault, config.max_task_failures) {
   DECA_CHECK_GT(config.num_executors, 0);
+  // Unique per-context spill directory so concurrent applications (or
+  // tests) sharing a configured spill_dir never collide on swap files.
+  config_.spill_dir += "/ctx_" + std::to_string(::getpid()) + "_" +
+                       std::to_string(g_next_context_id.fetch_add(1));
   for (int i = 0; i < config.num_executors; ++i) {
     executors_.push_back(std::make_unique<Executor>(i, config_, &registry_));
   }
 }
 
-SparkContext::~SparkContext() = default;
+SparkContext::~SparkContext() {
+  // Cache managers delete their swap files first, then the (now empty)
+  // per-context directory goes away. Best-effort: shuffle spill files of
+  // crashed tasks may linger inside, remove_all sweeps those too.
+  executors_.clear();
+  std::error_code ec;
+  std::filesystem::remove_all(config_.spill_dir, ec);
+}
 
-void SparkContext::RunStage(const std::string& name,
-                            const std::function<void(TaskContext&)>& task) {
-  (void)name;
+void SparkContext::RunTaskAttempts(
+    int stage, int p, int nparts,
+    const std::function<void(TaskContext&)>& task, double queue_ms) {
+  Executor* e = executor_for_partition(p);
+  const int max_attempts = std::max(1, config_.max_task_failures);
+  for (int attempt = 0;; ++attempt) {
+    TaskContext tc(this, e, p, nparts);
+    tc.metrics().queue_ms = queue_ms;
+    double gc0 = e->heap()->stats().TotalPauseMs();
+    Stopwatch sw;
+    try {
+      injector_.OnTaskAttempt(stage, p, attempt, e->heap());
+      task(tc);
+      // A forced allocation failure armed for this attempt must never
+      // leak into a later task (the attempt may not have allocated).
+      e->heap()->ForceAllocationFailures(0);
+    } catch (const fault::TaskFailure& f) {
+      e->heap()->ForceAllocationFailures(0);
+      if (attempt + 1 >= max_attempts) throw;
+      DECA_LOG(Warning) << "retrying task: " << f.what();
+      task_retries_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    } catch (const jvm::OutOfMemoryError& oom) {
+      e->heap()->ForceAllocationFailures(0);
+      if (attempt + 1 >= max_attempts) {
+        throw fault::TaskOomFailure(stage, p, attempt, oom.heap_dump());
+      }
+      DECA_LOG(Warning) << "retrying task after OOM (stage " << stage
+                        << ", partition " << p << ", attempt " << attempt
+                        << "): " << oom.what();
+      task_retries_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    tc.metrics().total_ms = sw.ElapsedMillis();
+    tc.metrics().gc_ms = e->heap()->stats().TotalPauseMs() - gc0;
+    sink_.Report(p, tc.metrics());
+    return;
+  }
+}
+
+void SparkContext::RunStageInternal(
+    const std::string& name, const std::function<void(TaskContext&)>& task) {
+  const int stage = next_stage_id_++;
+  int wipe = injector_.CrashWipeBefore(stage);
+  if (wipe >= 0 && wipe < num_executors()) WipeExecutor(wipe);
+  RecoverLostState();
   Stopwatch stage_sw;
   const int nparts = num_partitions();
   sink_.BeginStage(nparts);
   {
     ScopedHeapOwnership ownership(&executors_, &scheduler_);
-    scheduler_.RunStage(nparts, [&](int p, double queue_ms) {
-      Executor* e = executor_for_partition(p);
-      TaskContext tc(this, e, p, nparts);
-      tc.metrics().queue_ms = queue_ms;
-      double gc0 = e->heap()->stats().TotalPauseMs();
-      Stopwatch sw;
-      task(tc);
-      tc.metrics().total_ms = sw.ElapsedMillis();
-      tc.metrics().gc_ms = e->heap()->stats().TotalPauseMs() - gc0;
-      sink_.Report(p, tc.metrics());
-    });
+    scheduler_.RunStage(
+        nparts,
+        [&](int p, double queue_ms) {
+          RunTaskAttempts(stage, p, nparts, task, queue_ms);
+        },
+        name.c_str());
   }
   // Post-barrier: fold task metrics in partition order (deterministic
   // regardless of completion order).
   sink_.EndStage(&metrics_);
   metrics_.wall_ms += stage_sw.ElapsedMillis();
+  metrics_.task_retries += task_retries_.exchange(0);
+  metrics_.injected_faults += injector_.TakeFired();
+  metrics_.recomputed_blocks += recomputed_blocks_.exchange(0);
+}
+
+void SparkContext::RunStage(const std::string& name,
+                            const std::function<void(TaskContext&)>& task) {
+  RunStageInternal(name, task);
+}
+
+void SparkContext::RunMapStage(const std::string& name, int shuffle_id,
+                               const std::function<void(TaskContext&)>& task) {
+  RunStageInternal(name, task);
+  ReplayStage rs;
+  rs.name = name;
+  rs.shuffle_id = shuffle_id;
+  rs.fn = task;
+  replay_stages_.push_back(std::move(rs));
+}
+
+void SparkContext::RegisterLineage(int rdd_id,
+                                   std::function<void(TaskContext&)> fn) {
+  ReplayStage rs;
+  rs.name = "lineage rdd " + std::to_string(rdd_id);
+  rs.fn = std::move(fn);
+  replay_stages_.push_back(std::move(rs));
+}
+
+void SparkContext::AddWipeListener(WipeListener* listener) {
+  wipe_listeners_.push_back(listener);
+}
+
+void SparkContext::RemoveWipeListener(WipeListener* listener) {
+  auto it = std::find(wipe_listeners_.begin(), wipe_listeners_.end(),
+                      listener);
+  if (it != wipe_listeners_.end()) wipe_listeners_.erase(it);
+}
+
+void SparkContext::WipeExecutor(int e) {
+  DECA_CHECK_GE(e, 0);
+  DECA_CHECK_LT(e, num_executors());
+  // Stale-reference drop must precede the heap reset: listeners still
+  // hold refs into the dying heap.
+  for (auto* l : wipe_listeners_) l->OnExecutorWipe(e);
+  executors_[static_cast<size_t>(e)]->Wipe();
+  // Everything this executor produced is marked lost: cached lineage
+  // blocks and deposited shuffle map outputs alike.
+  for (auto& rs : replay_stages_) {
+    for (int p = 0; p < num_partitions(); ++p) {
+      if (scheduler_.ExecutorOfPartition(p) != e) continue;
+      if (rs.shuffle_id >= 0) shuffle_.DropMapOutput(rs.shuffle_id, p);
+      rs.lost.insert(p);
+    }
+  }
+  ++metrics_.executor_wipes;
+}
+
+void SparkContext::RecoverLostState() {
+  bool any = false;
+  for (const auto& rs : replay_stages_) {
+    if (!rs.lost.empty()) any = true;
+  }
+  if (!any) return;
+  // Replay in original execution order so the wiped executor's heap sees
+  // the same allocation history prefix a fresh run would produce. Replay
+  // runs clean: no injection, no retry bookkeeping, no metric reports.
+  const int nparts = num_partitions();
+  ScopedHeapOwnership ownership(&executors_, &scheduler_);
+  for (auto& rs : replay_stages_) {
+    if (rs.lost.empty()) continue;
+    std::string stage_name = "recover:" + rs.name;
+    scheduler_.RunStage(
+        nparts,
+        [&](int p, double) {
+          if (rs.lost.count(p) == 0) return;
+          Executor* e = executor_for_partition(p);
+          TaskContext tc(this, e, p, nparts);
+          rs.fn(tc);
+        },
+        stage_name.c_str());
+    if (rs.shuffle_id < 0) {
+      metrics_.recomputed_blocks += rs.lost.size();
+    }
+    rs.lost.clear();
+  }
 }
 
 void SparkContext::RegisterCachedRdd(int rdd_id, const RecordOps* ops) {
@@ -139,6 +283,22 @@ uint64_t SparkContext::SwappedBytes() const {
   uint64_t total = 0;
   for (const auto& e : executors_) {
     total += const_cast<Executor&>(*e).cache()->disk_bytes();
+  }
+  return total;
+}
+
+uint64_t SparkContext::TotalPressureEvictions() const {
+  uint64_t total = 0;
+  for (const auto& e : executors_) {
+    total += const_cast<Executor&>(*e).cache()->pressure_evictions();
+  }
+  return total;
+}
+
+uint64_t SparkContext::TotalOomRecoveries() const {
+  uint64_t total = 0;
+  for (const auto& e : executors_) {
+    total += const_cast<Executor&>(*e).heap()->stats().oom_recoveries;
   }
   return total;
 }

@@ -1,13 +1,16 @@
 #ifndef DECA_SPARK_CONTEXT_H_
 #define DECA_SPARK_CONTEXT_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "exec/metrics_sink.h"
 #include "exec/scheduler.h"
+#include "fault/fault_injector.h"
 #include "jvm/class_registry.h"
 #include "spark/executor.h"
 #include "spark/metrics.h"
@@ -16,6 +19,16 @@
 namespace deca::spark {
 
 class SparkContext;
+
+/// Notified when an executor crash-wipes, before its heap is reset.
+/// Listeners must drop every reference they hold into that executor's
+/// heap (they are stale after the wipe) and arrange for the lost data to
+/// be recomputed from lineage on next access.
+class WipeListener {
+ public:
+  virtual ~WipeListener() = default;
+  virtual void OnExecutorWipe(int executor_id) = 0;
+};
 
 /// Per-task view handed to stage functions: the partition id, the owning
 /// executor (heap, cache) and the task's metric sink.
@@ -78,8 +91,41 @@ class SparkContext {
 
   /// Runs one stage: `task` is invoked once per partition. Task wall time
   /// and the GC pauses incurred during it are recorded in the job metrics.
+  /// A task that throws a fault::TaskFailure (or a jvm::OutOfMemoryError,
+  /// converted to TaskOomFailure) is retried on the same executor in the
+  /// same per-executor FIFO slot, up to `config.max_task_failures`
+  /// attempts; other exception types propagate immediately.
   void RunStage(const std::string& name,
                 const std::function<void(TaskContext&)>& task);
+
+  /// Like RunStage, but additionally records `task` as the producer of
+  /// `shuffle_id`'s map outputs: if an executor later crash-wipes, the map
+  /// outputs it deposited are dropped and `task` is deterministically
+  /// re-executed for the lost partitions before the next stage runs.
+  void RunMapStage(const std::string& name, int shuffle_id,
+                   const std::function<void(TaskContext&)>& task);
+
+  /// Registers `fn` as the lineage of `rdd_id`'s cached blocks: when an
+  /// executor crash-wipes, `fn` is re-run for the lost partitions before
+  /// the next stage so the cache is restored. Call it after the stage that
+  /// materialized the blocks; `fn` must be idempotent per partition.
+  void RegisterLineage(int rdd_id, std::function<void(TaskContext&)> fn);
+
+  /// Wipe listeners (e.g. TypedRdd state holding per-partition arrays).
+  void AddWipeListener(WipeListener* listener);
+  void RemoveWipeListener(WipeListener* listener);
+
+  /// Simulates a crash of executor `e` at a stage boundary: wipe
+  /// listeners drop their references, the cache and heap are wiped, and
+  /// the executor's shuffle map outputs are discarded. Lost state is
+  /// recomputed from lineage before the next stage runs.
+  void WipeExecutor(int e);
+
+  /// Worker-side note that one lost block was rebuilt from lineage;
+  /// folded into the job metrics at the next stage barrier.
+  void NoteRecomputedBlock() {
+    recomputed_blocks_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Registers record ops for an RDD id on every executor's cache manager.
   void RegisterCachedRdd(int rdd_id, const RecordOps* ops);
@@ -100,8 +146,31 @@ class SparkContext {
   uint64_t CachedMemoryBytes() const;
   uint64_t PeakCachedMemoryBytes() const;
   uint64_t SwappedBytes() const;
+  /// Cache blocks swapped out by the OOM degradation ladder.
+  uint64_t TotalPressureEvictions() const;
+  /// Allocations rescued by eviction-under-pressure + full GC + retry.
+  uint64_t TotalOomRecoveries() const;
 
  private:
+  /// A stage whose effects can be deterministically replayed after an
+  /// executor wipe: a cached-RDD load (shuffle_id < 0) or a shuffle map
+  /// stage. `lost` holds partitions whose output the wipe destroyed.
+  struct ReplayStage {
+    std::string name;
+    int shuffle_id = -1;
+    std::function<void(TaskContext&)> fn;
+    std::set<int> lost;
+  };
+
+  /// One task with bounded retries; reports metrics on success.
+  void RunTaskAttempts(int stage, int partition, int num_partitions,
+                       const std::function<void(TaskContext&)>& task,
+                       double queue_ms);
+  void RunStageInternal(const std::string& name,
+                        const std::function<void(TaskContext&)>& task);
+  /// Replays lineage/map stages for partitions lost to a wipe.
+  void RecoverLostState();
+
   SparkConfig config_;
   jvm::ClassRegistry registry_;
   std::vector<std::unique_ptr<Executor>> executors_;
@@ -109,6 +178,12 @@ class SparkContext {
   exec::MetricsSink sink_;
   ShuffleService shuffle_;
   JobMetrics metrics_;
+  fault::FaultInjector injector_;
+  int next_stage_id_ = 0;
+  std::atomic<uint64_t> task_retries_{0};
+  std::atomic<uint64_t> recomputed_blocks_{0};
+  std::vector<WipeListener*> wipe_listeners_;
+  std::vector<ReplayStage> replay_stages_;
 };
 
 }  // namespace deca::spark

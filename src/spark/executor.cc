@@ -7,6 +7,20 @@ Executor::Executor(int id, const SparkConfig& config,
     : id_(id) {
   heap_ = std::make_unique<jvm::Heap>(config.heap, registry);
   cache_ = std::make_unique<CacheManager>(heap_.get(), &config, id);
+  // OOM degradation: a failed allocation first tries shedding cached
+  // blocks to disk, then surfaces as a retryable exception instead of
+  // aborting the process.
+  heap_->set_oom_throws(true);
+  heap_->SetOomHandler(
+      [this](size_t need) { return cache_->EvictUnderPressure(need) > 0; });
+}
+
+void Executor::Wipe() {
+  // Simulated crash: the cache (memory + swap files) and the entire heap
+  // are lost. Root providers other than the cache survive (the driver
+  // re-materializes their contents from lineage).
+  cache_->DropAllForWipe();
+  heap_->Reset();
 }
 
 }  // namespace deca::spark

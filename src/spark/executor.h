@@ -21,6 +21,11 @@ class Executor {
   jvm::Heap* heap() { return heap_.get(); }
   CacheManager* cache() { return cache_.get(); }
 
+  /// Simulated executor crash: drops all cached blocks and resets the
+  /// heap to its freshly-constructed state (registered root providers are
+  /// kept). Must run on the thread that owns the heap.
+  void Wipe();
+
  private:
   int id_;
   std::unique_ptr<jvm::Heap> heap_;

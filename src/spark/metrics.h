@@ -48,6 +48,13 @@ struct JobMetrics {
   uint64_t cached_bytes = 0;    // peak cached data across executors
   uint64_t spilled_bytes = 0;
 
+  // Fault-tolerance counters. All stay zero when injection is disabled
+  // and no real fault occurs.
+  uint64_t task_retries = 0;      // task attempts beyond the first
+  uint64_t injected_faults = 0;   // faults fired by the injector
+  uint64_t executor_wipes = 0;    // simulated executor crash-wipes
+  uint64_t recomputed_blocks = 0; // cached blocks rebuilt from lineage
+
   void ObserveTask(const TaskMetrics& t) {
     tasks.Accumulate(t);
     if (t.total_ms > slowest_task.total_ms) slowest_task = t;

@@ -1,6 +1,7 @@
 #include "spark/shuffle.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 
@@ -38,12 +39,28 @@ void ShuffleService::PutChunk(int shuffle_id, int reducer, int map_partition,
   auto it = std::upper_bound(b.mappers.begin(), b.mappers.end(),
                              map_partition);
   size_t pos = static_cast<size_t>(it - b.mappers.begin());
-  DECA_CHECK(pos == 0 || b.mappers[pos - 1] != map_partition)
-      << "map partition " << map_partition
-      << " deposited twice for reducer " << reducer;
+  if (pos > 0 && b.mappers[pos - 1] == map_partition) {
+    // A retried (or re-executed after map-output loss) map task replaces
+    // its previous deposit.
+    b.chunks[pos - 1] = std::move(bytes);
+    return;
+  }
   b.mappers.insert(it, map_partition);
   b.chunks.insert(b.chunks.begin() + static_cast<ptrdiff_t>(pos),
                   std::move(bytes));
+}
+
+void ShuffleService::DropMapOutput(int shuffle_id, int map_partition) {
+  for (auto& bucket : Find(shuffle_id)->buckets) {
+    std::lock_guard<std::mutex> lock(bucket->mu);
+    auto it = std::lower_bound(bucket->mappers.begin(), bucket->mappers.end(),
+                               map_partition);
+    if (it == bucket->mappers.end() || *it != map_partition) continue;
+    size_t pos = static_cast<size_t>(it - bucket->mappers.begin());
+    bucket->mappers.erase(it);
+    bucket->chunks.erase(bucket->chunks.begin() +
+                         static_cast<ptrdiff_t>(pos));
+  }
 }
 
 const std::vector<std::vector<uint8_t>>& ShuffleService::GetChunks(
@@ -78,9 +95,12 @@ ObjectHashShuffleBuffer::ObjectHashShuffleBuffer(jvm::Heap* heap,
                                                  const ShuffleOps* ops,
                                                  uint32_t initial_capacity)
     : heap_(heap), ops_(ops), capacity_(initial_capacity) {
+  // Allocate before registering the root provider: if the allocation
+  // throws (OOM), the heap must not keep a pointer to this dying buffer.
+  jvm::ObjRef table = heap_->AllocateArray(
+      heap_->registry()->ref_array_class(), 2 * capacity_);
   heap_->AddRootProvider(&table_root_);
-  table_root_.refs().push_back(heap_->AllocateArray(
-      heap_->registry()->ref_array_class(), 2 * capacity_));
+  table_root_.refs().push_back(table);
 }
 
 ObjectHashShuffleBuffer::~ObjectHashShuffleBuffer() {
@@ -234,11 +254,16 @@ ObjectGroupByBuffer::ObjectGroupByBuffer(jvm::Heap* heap,
                                          const ShuffleOps* ops,
                                          uint32_t initial_capacity)
     : heap_(heap), ops_(ops), capacity_(initial_capacity) {
+  // Allocate before registering the root provider (see
+  // ObjectHashShuffleBuffer): an OOM here must not leave a dangling root.
+  jvm::HandleScope scope(heap_);
+  jvm::Handle keys = scope.Make(heap_->AllocateArray(
+      heap_->registry()->ref_array_class(), capacity_));
+  jvm::Handle vals = scope.Make(heap_->AllocateArray(
+      heap_->registry()->ref_array_class(), capacity_));
   heap_->AddRootProvider(&roots_);
-  roots_.refs().push_back(heap_->AllocateArray(
-      heap_->registry()->ref_array_class(), capacity_));
-  roots_.refs().push_back(heap_->AllocateArray(
-      heap_->registry()->ref_array_class(), capacity_));
+  roots_.refs().push_back(keys.get());
+  roots_.refs().push_back(vals.get());
   counts_.assign(capacity_, 0);
 }
 
@@ -443,7 +468,8 @@ void DecaSortSpillWriter::SpillCurrentRun() {
   std::string path = dir_ + "/sortspill_" + std::to_string(files_.size()) +
                      "_" + std::to_string(reinterpret_cast<uintptr_t>(this));
   std::FILE* f = std::fopen(path.c_str(), "wb");
-  DECA_CHECK(f != nullptr) << "cannot open spill file " << path;
+  DECA_CHECK(f != nullptr) << "cannot open spill file for writing: " << path
+                           << ": " << std::strerror(errno);
   for (const auto& [seg, bytes] : entries_) {
     // Decomposed bytes go to disk as-is, length-prefixed.
     std::fwrite(&bytes, sizeof(bytes), 1, f);
@@ -480,7 +506,9 @@ void DecaSortSpillWriter::Merge(
   std::vector<Run> runs(files_.size());
   for (size_t i = 0; i < files_.size(); ++i) {
     runs[i].file = std::fopen(files_[i].c_str(), "rb");
-    DECA_CHECK(runs[i].file != nullptr);
+    DECA_CHECK(runs[i].file != nullptr)
+        << "cannot open spill file for reading: " << files_[i] << ": "
+        << std::strerror(errno);
     DECA_CHECK(runs[i].Next());
   }
   size_t mem_pos = 0;

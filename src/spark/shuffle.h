@@ -35,10 +35,14 @@ class ShuffleService {
   int RegisterShuffle(int num_reducers);
 
   /// Deposits the bytes `map_partition` produced for `reducer`. Thread
-  /// safe; empty chunks are dropped. Each map partition may deposit at
-  /// most one chunk per reducer.
+  /// safe; empty chunks are dropped. A second deposit from the same map
+  /// partition (a retried task) replaces the first.
   void PutChunk(int shuffle_id, int reducer, int map_partition,
                 std::vector<uint8_t> bytes);
+
+  /// Drops every chunk `map_partition` deposited (simulating map-output
+  /// loss when its executor crashes). Stage-barrier side only.
+  void DropMapOutput(int shuffle_id, int map_partition);
 
   /// All chunks destined for `reducer`, ordered by map partition id.
   /// Stage-barrier side only (driver / reduce stage).

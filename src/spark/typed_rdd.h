@@ -37,14 +37,23 @@ class TypedRdd {
                               const std::vector<T>& values) {
     TypedRdd rdd(ctx, std::move(adapter));
     int parts = ctx->num_partitions();
-    std::vector<std::vector<T>> sliced(static_cast<size_t>(parts));
+    auto sliced = std::make_shared<std::vector<std::vector<T>>>(
+        static_cast<size_t>(parts));
     for (size_t i = 0; i < values.size(); ++i) {
-      sliced[i % static_cast<size_t>(parts)].push_back(values[i]);
+      (*sliced)[i % static_cast<size_t>(parts)].push_back(values[i]);
     }
     ctx->RunStage("parallelize", [&](TaskContext& tc) {
-      rdd.MaterializePartition(tc, sliced[static_cast<size_t>(
-                                       tc.partition())]);
+      rdd.MaterializePartition(
+          tc, (*sliced)[static_cast<size_t>(tc.partition())]);
     });
+    // Lineage: the source data itself. Raw State* avoids a shared_ptr
+    // cycle (the closure lives exactly as long as the state it rebuilds).
+    rdd.state_->recompute = [state = rdd.state_.get(),
+                             adapter = rdd.adapter_,
+                             sliced](TaskContext& tc) {
+      MaterializeInto(state, adapter, tc,
+                      (*sliced)[static_cast<size_t>(tc.partition())]);
+    };
     return rdd;
   }
 
@@ -58,6 +67,15 @@ class TypedRdd {
       VisitPartition(tc, [&](const T& value) { result.push_back(fn(value)); });
       out.MaterializePartition(tc, result);
     });
+    // Lineage: re-read the parent partition (recursively recomputed if it
+    // was lost too) and re-apply the transformation.
+    out.state_->recompute = [parent = *this, state = out.state_.get(),
+                             adapter = out.adapter_, fn](TaskContext& tc) {
+      std::vector<U> result;
+      parent.VisitPartition(
+          tc, [&](const T& value) { result.push_back(fn(value)); });
+      TypedRdd<U>::MaterializeInto(state, adapter, tc, result);
+    };
     return out;
   }
 
@@ -76,6 +94,14 @@ class TypedRdd {
       });
       out.MaterializePartition(tc, result);
     });
+    out.state_->recompute = [parent = *this, state = out.state_.get(),
+                             adapter = out.adapter_, pred](TaskContext& tc) {
+      std::vector<T> result;
+      parent.VisitPartition(tc, [&](const T& value) {
+        if (pred(value)) result.push_back(value);
+      });
+      MaterializeInto(state, adapter, tc, result);
+    };
     return out;
   }
 
@@ -136,8 +162,11 @@ class TypedRdd {
   template <typename U>
   friend class TypedRdd;
 
-  /// Per-executor pinned blocks (one Object[] per partition).
-  struct State {
+  /// Per-executor pinned blocks (one Object[] per partition). Listens for
+  /// executor crash-wipes: the wiped executor's references are dropped
+  /// (they point into a dead heap) and its partitions marked lost, to be
+  /// rebuilt from the `recompute` lineage closure on next access.
+  struct State : public WipeListener {
     explicit State(SparkContext* ctx) : context(ctx) {
       providers.resize(static_cast<size_t>(ctx->num_executors()));
       for (int e = 0; e < ctx->num_executors(); ++e) {
@@ -149,17 +178,29 @@ class TypedRdd {
             static_cast<size_t>(ctx->num_partitions()), SIZE_MAX);
       }
       counts.assign(static_cast<size_t>(ctx->num_partitions()), 0);
+      ctx->AddWipeListener(this);
     }
-    ~State() {
+    ~State() override {
+      context->RemoveWipeListener(this);
       for (int e = 0; e < context->num_executors(); ++e) {
         context->executor(e)->heap()->RemoveRootProvider(
             providers[static_cast<size_t>(e)].get());
+      }
+    }
+    void OnExecutorWipe(int executor_id) override {
+      providers[static_cast<size_t>(executor_id)]->refs().clear();
+      for (int p = 0; p < context->num_partitions(); ++p) {
+        if (context->scheduler()->ExecutorOfPartition(p) == executor_id) {
+          slot_of_partition[static_cast<size_t>(p)] = SIZE_MAX;
+        }
       }
     }
     SparkContext* context;
     std::vector<std::unique_ptr<jvm::VectorRootProvider>> providers;
     std::vector<size_t> slot_of_partition;  // index into provider refs
     std::vector<uint32_t> counts;
+    /// Lineage: rebuilds this state's block for tc.partition().
+    std::function<void(TaskContext&)> recompute;
   };
 
   TypedRdd(SparkContext* ctx, RecordAdapter<T> adapter)
@@ -169,7 +210,11 @@ class TypedRdd {
 
   // Tasks write only their own partition's slots (and their own
   // executor's provider), so concurrent materialization is race-free.
-  void MaterializePartition(TaskContext& tc, const std::vector<T>& values) {
+  // Static so lineage closures can capture a raw State* without keeping
+  // the whole TypedRdd alive. Reuses the partition's existing provider
+  // slot when re-materializing after a wipe.
+  static void MaterializeInto(State* state, const RecordAdapter<T>& adapter,
+                              TaskContext& tc, const std::vector<T>& values) {
     jvm::Heap* h = tc.heap();
     jvm::HandleScope scope(h);
     jvm::Handle arr = scope.Make(h->AllocateArray(
@@ -177,22 +222,38 @@ class TypedRdd {
         static_cast<uint32_t>(values.size())));
     for (size_t i = 0; i < values.size(); ++i) {
       jvm::HandleScope inner(h);
-      jvm::ObjRef rec = adapter_.to_managed(h, values[i]);
+      jvm::ObjRef rec = adapter.to_managed(h, values[i]);
       h->SetRefElem(arr.get(), static_cast<uint32_t>(i), rec);
     }
     auto& refs =
-        state_->providers[static_cast<size_t>(tc.executor()->id())]->refs();
-    state_->slot_of_partition[static_cast<size_t>(tc.partition())] =
-        refs.size();
-    refs.push_back(arr.get());
-    state_->counts[static_cast<size_t>(tc.partition())] =
+        state->providers[static_cast<size_t>(tc.executor()->id())]->refs();
+    size_t& slot =
+        state->slot_of_partition[static_cast<size_t>(tc.partition())];
+    if (slot == SIZE_MAX) {
+      slot = refs.size();
+      refs.push_back(arr.get());
+    } else {
+      refs[slot] = arr.get();
+    }
+    state->counts[static_cast<size_t>(tc.partition())] =
         static_cast<uint32_t>(values.size());
+  }
+
+  void MaterializePartition(TaskContext& tc, const std::vector<T>& values) {
+    MaterializeInto(state_.get(), adapter_, tc, values);
   }
 
   void VisitPartition(TaskContext& tc,
                       const std::function<void(const T&)>& fn) const {
     size_t slot =
         state_->slot_of_partition[static_cast<size_t>(tc.partition())];
+    if (slot == SIZE_MAX && state_->recompute &&
+        state_->counts[static_cast<size_t>(tc.partition())] > 0) {
+      // Block lost to an executor wipe: rebuild it from lineage.
+      state_->recompute(tc);
+      tc.context()->NoteRecomputedBlock();
+      slot = state_->slot_of_partition[static_cast<size_t>(tc.partition())];
+    }
     uint32_t count = state_->counts[static_cast<size_t>(tc.partition())];
     if (slot == SIZE_MAX || count == 0) return;
     jvm::Heap* h = tc.heap();

@@ -47,6 +47,12 @@ void FinalizeResult(spark::SparkContext* ctx, RunResult* result) {
   result->spill_ms = t.spill_ms;
   result->compute_ms = t.compute_ms();
   result->slowest_task = ctx->metrics().slowest_task;
+  result->task_retries = ctx->metrics().task_retries;
+  result->injected_faults = ctx->metrics().injected_faults;
+  result->executor_wipes = ctx->metrics().executor_wipes;
+  result->recomputed_blocks = ctx->metrics().recomputed_blocks;
+  result->pressure_evictions = ctx->TotalPressureEvictions();
+  result->oom_recoveries = ctx->TotalOomRecoveries();
 }
 
 }  // namespace deca::workloads

@@ -43,6 +43,14 @@ struct RunResult {
   double compute_ms = 0;
   spark::TaskMetrics slowest_task;
 
+  // Fault-tolerance counters (all zero on a fault-free run).
+  uint64_t task_retries = 0;
+  uint64_t injected_faults = 0;
+  uint64_t executor_wipes = 0;
+  uint64_t recomputed_blocks = 0;
+  uint64_t pressure_evictions = 0;
+  uint64_t oom_recoveries = 0;
+
   // Optional lifetime profile (figures 8a / 9a): live tracked-object count
   // and cumulative GC ms sampled over run time.
   TimeSeries object_counts;

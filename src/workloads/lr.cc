@@ -308,10 +308,13 @@ LrResult RunLogisticRegression(const MlParams& params) {
   int dims = params.dims;
 
   // -- load & cache the training points (paper excludes this from exec).
-  Stopwatch load_sw;
-  ctx.RunStage("load", [&](spark::TaskContext& tc) {
+  // Named so it can double as the cached RDD's lineage: if an executor
+  // crash-wipes, the lost partitions are reloaded by re-running this task
+  // (deterministic — the generator reseeds per partition).
+  auto load_task = [&types, &params, deca, dims, per_part,
+                    page_bytes = cfg.deca_page_bytes](spark::TaskContext& tc) {
     Rng rng(params.seed + static_cast<uint64_t>(tc.partition()));
-    CachePoints(tc, types, kLrRddId, deca, cfg.deca_page_bytes, per_part,
+    CachePoints(tc, types, kLrRddId, deca, page_bytes, per_part,
                 [&](double* feats) {
                   double label = rng.NextBounded(2) == 0 ? -1.0 : 1.0;
                   for (int j = 0; j < dims; ++j) {
@@ -319,7 +322,10 @@ LrResult RunLogisticRegression(const MlParams& params) {
                   }
                   return label;
                 });
-  });
+  };
+  Stopwatch load_sw;
+  ctx.RunStage("load", load_task);
+  ctx.RegisterLineage(kLrRddId, load_task);
   result.run.load_ms = load_sw.ElapsedMillis();
   ctx.ResetMetrics();
 
@@ -345,8 +351,9 @@ LrResult RunLogisticRegression(const MlParams& params) {
         std::vector<double>(static_cast<size_t>(dims), 0.0));
     ctx.RunStage("gradient", [&](spark::TaskContext& tc) {
       jvm::Heap* h = tc.heap();
-      std::vector<double>& grad =
-          part_grads[static_cast<size_t>(tc.partition())];
+      // Accumulate locally and assign the slot at task end, so a retried
+      // attempt that failed mid-scan cannot double-count points.
+      std::vector<double> grad(static_cast<size_t>(dims), 0.0);
       ForEachPointBlock(tc, kLrRddId, [&](const spark::LoadedBlock& block) {
         HandleScope scope(h);
         switch (block.level) {
@@ -388,6 +395,7 @@ LrResult RunLogisticRegression(const MlParams& params) {
           }
         }
       });
+      part_grads[static_cast<size_t>(tc.partition())] = std::move(grad);
     });
     std::vector<double> gradient(static_cast<size_t>(dims), 0.0);
     for (int p = 0; p < parts; ++p) {

@@ -88,8 +88,10 @@ WordCountResult RunWordCount(const WordCountParams& params) {
   Stopwatch run_sw;
 
   // -- map stage: count words with eager combining, spill-flushing when
-  // the buffer exceeds the shuffle memory budget.
-  ctx.RunStage("map", [&](spark::TaskContext& tc) {
+  // the buffer exceeds the shuffle memory budget. A map stage: if an
+  // executor crash-wipes later, its deposited chunks are dropped and the
+  // lost partitions deterministically re-executed.
+  ctx.RunMapStage("map", shuffle_id, [&](spark::TaskContext& tc) {
     jvm::Heap* h = tc.heap();
     bool profiled = params.profile && tc.executor()->id() == 0;
     std::unique_ptr<Rng> word_rng;
@@ -175,8 +177,10 @@ WordCountResult RunWordCount(const WordCountParams& params) {
   std::vector<uint64_t> part_total(static_cast<size_t>(parts), 0);
   std::vector<uint64_t> part_distinct(static_cast<size_t>(parts), 0);
   ctx.RunStage("reduce", [&](spark::TaskContext& tc) {
-    uint64_t& total = part_total[static_cast<size_t>(tc.partition())];
-    uint64_t& distinct = part_distinct[static_cast<size_t>(tc.partition())];
+    // Accumulate locally and assign the slots at task end, so a retried
+    // attempt that failed mid-merge cannot double-count.
+    uint64_t total = 0;
+    uint64_t distinct = 0;
     jvm::Heap* h = tc.heap();
     const auto& chunks = ctx.shuffle()->GetChunks(shuffle_id, tc.partition());
     if (deca) {
@@ -211,6 +215,8 @@ WordCountResult RunWordCount(const WordCountParams& params) {
         ++distinct;
       });
     }
+    part_total[static_cast<size_t>(tc.partition())] = total;
+    part_distinct[static_cast<size_t>(tc.partition())] = distinct;
   });
   ctx.shuffle()->Release(shuffle_id);
 
