@@ -1,6 +1,7 @@
 #ifndef DECA_BENCH_BENCH_UTIL_H_
 #define DECA_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -10,14 +11,50 @@
 
 namespace deca::bench {
 
+/// Typed DECA_* environment lookups — the one place bench knobs are
+/// parsed. Each returns `def` when the variable is unset (or, for the
+/// numeric guards, unparsable/non-positive where noted).
+inline int EnvInt(const char* name, int def, int min_value = 1) {
+  const char* e = std::getenv(name);
+  if (e == nullptr) return def;
+  int n = std::atoi(e);
+  return n >= min_value ? n : def;
+}
+inline double EnvDouble(const char* name, double def) {
+  const char* e = std::getenv(name);
+  return e != nullptr ? std::atof(e) : def;
+}
+inline uint64_t EnvU64(const char* name, uint64_t def) {
+  const char* e = std::getenv(name);
+  return e != nullptr ? std::strtoull(e, nullptr, 10) : def;
+}
+
+/// Prints the effective engine configuration once per process, so a bench
+/// log always records which knobs (env or default) produced its numbers.
+inline void PrintEffectiveConfigOnce(const spark::SparkConfig& cfg) {
+  static bool printed = false;
+  if (printed) return;
+  printed = true;
+  std::printf(
+      "config: executors=%d threads=%d heap=%zuMB executor_memory=%zuMB "
+      "storage_fraction=%.2f page=%uKB\n",
+      cfg.num_executors, cfg.num_worker_threads, cfg.heap.heap_bytes >> 20,
+      cfg.executor_memory() >> 20, cfg.storage_fraction,
+      cfg.deca_page_bytes >> 10);
+}
+
 /// Default executor sizing used across the reproduction benches: two
 /// executors with 64 MB heaps stand in for the paper's five 30 GB workers
 /// (a ~1000x uniform down-scale; all reported effects are ratios).
 ///
 /// Environment overrides (results stay bit-identical across both):
-///   DECA_EXECUTORS=N       executor count (default 2)
-///   DECA_WORKER_THREADS=N  parallel runtime threads (default 0 =
-///                          sequential driver loop)
+///   DECA_EXECUTORS=N        executor count (default 2)
+///   DECA_WORKER_THREADS=N   parallel runtime threads (default 0 =
+///                           sequential driver loop)
+///   DECA_EXECUTOR_MEMORY=MB unified per-executor memory budget
+///                           (default 0 = heap * memory_fraction)
+///   DECA_STORAGE_FRACTION=F storage-pool floor share of the budget
+///                           (default 0.5)
 ///
 /// Deterministic fault injection (default off; numbers are unchanged and
 /// no retry counters increment unless one of these is set):
@@ -29,37 +66,29 @@ namespace deca::bench {
 ///                            crash-wipe executor E before stage N
 inline spark::SparkConfig DefaultSpark(size_t heap_mb = 64) {
   spark::SparkConfig cfg;
-  cfg.num_executors = 2;
   cfg.partitions_per_executor = 2;
-  if (const char* e = std::getenv("DECA_EXECUTORS")) {
-    int n = std::atoi(e);
-    if (n > 0) cfg.num_executors = n;
-  }
-  if (const char* e = std::getenv("DECA_WORKER_THREADS")) {
-    int n = std::atoi(e);
-    if (n > 0) cfg.num_worker_threads = n;
-  }
-  if (const char* e = std::getenv("DECA_FAULT_SEED")) {
-    cfg.fault.seed = std::strtoull(e, nullptr, 10);
-  }
-  if (const char* e = std::getenv("DECA_FAULT_TASK_PROB")) {
-    cfg.fault.task_failure_prob = std::atof(e);
-  }
-  if (const char* e = std::getenv("DECA_FAULT_FETCH_PROB")) {
-    cfg.fault.fetch_failure_prob = std::atof(e);
-  }
-  if (const char* e = std::getenv("DECA_FAULT_OOM_PROB")) {
-    cfg.fault.oom_failure_prob = std::atof(e);
-  }
-  if (const char* e = std::getenv("DECA_CRASH_WIPE_STAGE")) {
-    cfg.fault.crash_wipe_stage = std::atoi(e);
-  }
-  if (const char* e = std::getenv("DECA_CRASH_WIPE_EXECUTOR")) {
-    cfg.fault.crash_wipe_executor = std::atoi(e);
-  }
+  cfg.num_executors = EnvInt("DECA_EXECUTORS", 2);
+  cfg.num_worker_threads = EnvInt("DECA_WORKER_THREADS", 0);
+  cfg.fault.seed = EnvU64("DECA_FAULT_SEED", cfg.fault.seed);
+  cfg.fault.task_failure_prob =
+      EnvDouble("DECA_FAULT_TASK_PROB", cfg.fault.task_failure_prob);
+  cfg.fault.fetch_failure_prob =
+      EnvDouble("DECA_FAULT_FETCH_PROB", cfg.fault.fetch_failure_prob);
+  cfg.fault.oom_failure_prob =
+      EnvDouble("DECA_FAULT_OOM_PROB", cfg.fault.oom_failure_prob);
+  cfg.fault.crash_wipe_stage =
+      EnvInt("DECA_CRASH_WIPE_STAGE", cfg.fault.crash_wipe_stage, INT32_MIN);
+  cfg.fault.crash_wipe_executor = EnvInt("DECA_CRASH_WIPE_EXECUTOR",
+                                         cfg.fault.crash_wipe_executor,
+                                         INT32_MIN);
   cfg.heap.heap_bytes = heap_mb << 20;
   cfg.memory_fraction = 0.75;
+  cfg.executor_memory_bytes =
+      static_cast<size_t>(EnvU64("DECA_EXECUTOR_MEMORY", 0)) << 20;
+  cfg.storage_fraction =
+      EnvDouble("DECA_STORAGE_FRACTION", cfg.storage_fraction);
   cfg.spill_dir = "/tmp/deca_bench_spill";
+  PrintEffectiveConfigOnce(cfg);
   return cfg;
 }
 
@@ -100,6 +129,27 @@ struct FaultTotals {
     t.Print();
   }
 };
+
+/// Prints one row per executor from a run's memory-manager snapshots:
+/// budget, pool peaks, borrowing high-water mark and denied reservations.
+inline void PrintExecutorMemory(const workloads::RunResult& r) {
+  if (r.executor_memory.empty()) return;
+  std::printf("\nPer-executor memory (%s):\n", workloads::ModeName(r.mode));
+  TablePrinter t({"exec", "budget(MB)", "heap(MB)", "exec peak(MB)",
+                  "storage peak(MB)", "borrowed(MB)", "denied"});
+  const double mb = 1 << 20;
+  for (size_t i = 0; i < r.executor_memory.size(); ++i) {
+    const memory::MemoryStats& m = r.executor_memory[i];
+    t.AddRow({std::to_string(i),
+              TablePrinter::Num(static_cast<double>(m.total_bytes) / mb, 1),
+              TablePrinter::Num(static_cast<double>(m.heap_capacity) / mb, 1),
+              TablePrinter::Num(static_cast<double>(m.exec_peak) / mb, 1),
+              TablePrinter::Num(static_cast<double>(m.storage_peak) / mb, 1),
+              TablePrinter::Num(static_cast<double>(m.borrowed_peak) / mb, 1),
+              std::to_string(m.denied_reservations)});
+  }
+  t.Print();
+}
 
 inline void PrintHeader(const std::string& title, const std::string& paper_ref,
                         const std::string& notes) {

@@ -16,6 +16,7 @@ int main() {
               "Fig. 8(b) — sizes {50,100,150}GB x keys {10M,100M}",
               "Scaled: words {1M,2M,3M} x distinct keys {20k,200k}");
   FaultTotals faults;
+  RunResult last_spark, last_deca;
   TablePrinter t({"keys", "words", "Spark exec(ms)", "Spark gc(ms)",
                   "Deca exec(ms)", "Deca gc(ms)", "reduction", "speedup"});
   for (uint64_t keys : {20'000ull, 200'000ull}) {
@@ -30,6 +31,8 @@ int main() {
       WordCountResult deca = RunWordCount(p);
       faults.Add(spark.run);
       faults.Add(deca.run);
+      last_spark = spark.run;
+      last_deca = deca.run;
       t.AddRow({std::to_string(keys), std::to_string(words),
                 Ms(spark.run.exec_ms), Ms(spark.run.gc_ms),
                 Ms(deca.run.exec_ms), Ms(deca.run.gc_ms),
@@ -39,6 +42,8 @@ int main() {
     }
   }
   t.Print();
+  PrintExecutorMemory(last_spark);
+  PrintExecutorMemory(last_deca);
   faults.PrintIfAny();
   std::printf(
       "\nExpected shape: Deca wins everywhere; Spark's GC share (and the\n"

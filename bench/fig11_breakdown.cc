@@ -15,9 +15,13 @@ namespace {
 
 void AddBreakdown(TablePrinter* t, const char* app, const char* mode,
                   const spark::TaskMetrics& m) {
+  double pool_peak_mb = static_cast<double>(m.exec_pool_peak_bytes +
+                                            m.storage_pool_peak_bytes) /
+                        (1 << 20);
   t->AddRow({app, mode, Ms(m.total_ms), Ms(m.compute_ms()), Ms(m.gc_ms),
              Ms(m.deser_ms + m.ser_ms), Ms(m.shuffle_read_ms),
-             Ms(m.shuffle_write_ms), Ms(m.spill_ms), Ms(m.queue_ms)});
+             Ms(m.shuffle_write_ms), Ms(m.spill_ms), Ms(m.queue_ms),
+             Mb(pool_peak_mb)});
 }
 
 }  // namespace
@@ -27,8 +31,9 @@ int main() {
               "Fig. 11 — compute / GC / (de)ser / shuffle per task",
               "LR-small (fits), LR-large (GC + swap), PR (shuffle-heavy)");
   FaultTotals faults;
+  std::vector<RunResult> pr_runs;
   TablePrinter t({"job", "mode", "total(ms)", "compute", "gc", "(de)ser",
-                  "shuf read", "shuf write", "disk", "queue"});
+                  "shuf read", "shuf write", "disk", "queue", "mem(MB)"});
   for (Mode mode : {Mode::kSpark, Mode::kSparkSer, Mode::kDeca}) {
     MlParams p;
     p.num_points = 240'000;
@@ -63,8 +68,10 @@ int main() {
     PageRankResult r = RunPageRank(p);
     faults.Add(r.run);
     AddBreakdown(&t, "PR", ModeName(mode), r.run.slowest_task);
+    pr_runs.push_back(r.run);
   }
   t.Print();
+  for (const RunResult& r : pr_runs) PrintExecutorMemory(r);
   faults.PrintIfAny();
   std::printf(
       "\nExpected shape (paper Fig. 11): LR-small — SparkSer's bar is\n"

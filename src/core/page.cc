@@ -3,17 +3,24 @@
 namespace deca::core {
 
 PageGroup::PageGroup(jvm::Heap* heap, uint32_t page_bytes)
-    : heap_(heap), page_bytes_(page_bytes) {
+    : heap_(heap), page_bytes_(page_bytes), mm_(heap->memory_manager()) {
   DECA_CHECK_GT(page_bytes, 0u);
   heap_->AddRootProvider(&pages_);
+  if (mm_ != nullptr) mm_->RegisterPageSource(this);
 }
 
-PageGroup::~PageGroup() { heap_->RemoveRootProvider(&pages_); }
+PageGroup::~PageGroup() {
+  if (mm_ != nullptr) {
+    mm_->UnchargePages(pool_, footprint_bytes());
+    mm_->UnregisterPageSource(this);
+  }
+  heap_->RemoveRootProvider(&pages_);
+}
 
 SegPtr PageGroup::Append(uint32_t bytes) {
   DECA_CHECK_LE(bytes, page_bytes_)
       << "record larger than the Deca page size";
-  if (used_.empty() || used_.back() + bytes > page_bytes_) {
+  if (NeedsNewPage(bytes)) {
     // Pages are large objects: allocated directly in the old generation,
     // where they stay for the lifetime of their container.
     jvm::ObjRef page =
@@ -21,6 +28,7 @@ SegPtr PageGroup::Append(uint32_t bytes) {
                              page_bytes_);
     pages_.refs().push_back(page);
     used_.push_back(0);
+    if (mm_ != nullptr) mm_->ChargePages(pool_, page_cost_bytes());
   }
   uint32_t page_idx = static_cast<uint32_t>(used_.size() - 1);
   SegPtr seg{page_idx, used_.back()};
@@ -40,7 +48,15 @@ uint64_t PageGroup::footprint_bytes() const {
          (page_bytes_ + jvm::kHeaderBytes);
 }
 
+void PageGroup::SetChargePool(memory::Pool pool) {
+  if (mm_ != nullptr && pool != pool_) {
+    mm_->TransferPages(pool_, pool, footprint_bytes());
+  }
+  pool_ = pool;
+}
+
 void PageGroup::Clear() {
+  if (mm_ != nullptr) mm_->UnchargePages(pool_, footprint_bytes());
   pages_.refs().clear();
   used_.clear();
   segment_count_ = 0;

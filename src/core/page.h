@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "jvm/heap.h"
+#include "memory/memory_manager.h"
 
 namespace deca::core {
 
@@ -33,12 +34,18 @@ struct SegPtr {
 /// paper's reference-counting reclamation of shared page groups. A
 /// secondary container that stores pointers into a primary's pages keeps
 /// the primary group alive through `AddDependency` (the paper's depPages).
-class PageGroup {
+///
+/// When the owning heap has a memory::ExecutorMemoryManager attached,
+/// every page allocation/release charges the group's footprint to the
+/// manager — by default to the execution pool (shuffle buffers, agg
+/// tables, sort runs); the cache re-tags groups it takes ownership of via
+/// `SetChargePool(kStorage)`.
+class PageGroup : public memory::PageFootprintSource {
  public:
   /// `page_bytes` is the common fixed page size; segments never straddle
   /// pages, so it bounds the largest record.
   PageGroup(jvm::Heap* heap, uint32_t page_bytes);
-  ~PageGroup();
+  ~PageGroup() override;
 
   PageGroup(const PageGroup&) = delete;
   PageGroup& operator=(const PageGroup&) = delete;
@@ -71,9 +78,25 @@ class PageGroup {
   /// Total data bytes across all pages.
   uint64_t used_bytes() const;
   /// Total heap footprint (page_count * page size, headers included).
-  uint64_t footprint_bytes() const;
+  uint64_t footprint_bytes() const override;
   /// Number of appended segments.
   uint64_t segment_count() const { return segment_count_; }
+
+  /// True when appending `bytes` would allocate a fresh page (the
+  /// sort-spill writer probes the memory manager before committing to
+  /// one).
+  bool NeedsNewPage(uint32_t bytes) const {
+    return used_.empty() || used_.back() + bytes > page_bytes_;
+  }
+  /// Heap footprint one page costs (header included).
+  uint64_t page_cost_bytes() const {
+    return static_cast<uint64_t>(page_bytes_) + jvm::kHeaderBytes;
+  }
+
+  /// Moves this group's charged footprint to `pool` (and tags future
+  /// pages). No-op without a memory manager.
+  void SetChargePool(memory::Pool pool);
+  memory::Pool charge_pool() const { return pool_; }
 
   /// Drops all pages and dependencies (the group becomes empty; the GC can
   /// reclaim the space at the next collection).
@@ -82,6 +105,8 @@ class PageGroup {
  private:
   jvm::Heap* heap_;
   uint32_t page_bytes_;
+  memory::ExecutorMemoryManager* mm_;  // may be null (standalone heaps)
+  memory::Pool pool_ = memory::Pool::kExecution;
   jvm::VectorRootProvider pages_;  // registered with the heap
   std::vector<uint32_t> used_;     // bytes used per page
   uint64_t segment_count_ = 0;

@@ -61,6 +61,21 @@ void Heap::Reset() {
   handle_slots_.clear();
   handle_top_ = 0;
   forced_alloc_failures_ = 0;
+  if (mm_ != nullptr) ReportOccupancyNow();
+}
+
+void Heap::SetMemoryManager(memory::ExecutorMemoryManager* mm) {
+  mm_ = mm;
+  if (mm_ != nullptr) {
+    mm_->RegisterHeapCapacity(capacity_bytes());
+    ReportOccupancyNow();
+  }
+}
+
+void Heap::ReportOccupancyNow() {
+  if (mm_ == nullptr) return;
+  last_reported_gc_ = stats_.minor_count + stats_.full_count;
+  mm_->ReportHeapOccupancy(used_bytes(), old_used_bytes());
 }
 
 std::string Heap::DumpState() const {
@@ -114,6 +129,7 @@ ObjRef Heap::AllocateImpl(uint32_t class_id, uint32_t length,
       DECA_LOG(Fatal) << "managed heap OOM allocating " << total
                       << " bytes of " << ci.name() << "; " << dump;
     }
+    MaybeReportOccupancy();
     return kNullRef;
   }
   std::memset(p, 0, total);
@@ -122,6 +138,7 @@ ObjRef Heap::AllocateImpl(uint32_t class_id, uint32_t length,
   LengthOf(r) = length;
   stats_.objects_allocated += 1;
   stats_.bytes_allocated += total;
+  MaybeReportOccupancy();
   return r;
 }
 
@@ -182,6 +199,9 @@ void Heap::Verify() const {
         << "dangling reference to " << r << " (not an object start)";
     if (visited.insert(r).second) stack.push_back(r);
   };
+  // Verify only reads through the root slots, but VisitRoots hands out
+  // ObjRef* for the collectors to rewrite, so it cannot be const.
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-const-cast)
   const_cast<Heap*>(this)->VisitRoots([&](ObjRef* s) { push(*s); });
   while (!stack.empty()) {
     ObjRef r = stack.back();

@@ -18,6 +18,7 @@
 #include "jvm/gc_stats.h"
 #include "jvm/heap_config.h"
 #include "jvm/object_model.h"
+#include "memory/memory_manager.h"
 
 namespace deca::jvm {
 
@@ -261,10 +262,12 @@ class Heap {
   void CollectMinor() {
     AssertMutator();
     collector_->CollectMinor();
+    MaybeReportOccupancy();
   }
   void CollectFull() {
     AssertMutator();
     collector_->CollectFull();
+    MaybeReportOccupancy();
   }
 
   const GcStats& stats() const { return stats_; }
@@ -307,6 +310,19 @@ class Heap {
   /// Multi-line diagnostics dump (occupancy, GC counters, collector
   /// internals) for OOM post-mortems.
   std::string DumpState() const;
+
+  // -- Memory accounting ---------------------------------------------------
+
+  /// Attaches the executor's unified memory manager: the heap registers
+  /// its committed capacity immediately and reports live/old occupancy to
+  /// it after every collection. Page groups on this heap pick the manager
+  /// up from here to charge their footprint.
+  void SetMemoryManager(memory::ExecutorMemoryManager* mm);
+  memory::ExecutorMemoryManager* memory_manager() const { return mm_; }
+
+  /// Pushes the current occupancy to the manager unconditionally (stage
+  /// barriers sync accounting before verification).
+  void ReportOccupancyNow();
 
   ClassRegistry* registry() const { return registry_; }
   const HeapConfig& config() const { return config_; }
@@ -371,6 +387,15 @@ class Heap {
   ObjRef AllocateImpl(uint32_t class_id, uint32_t length, bool die_on_oom);
   std::unique_ptr<Collector> MakeCollector();
 
+  /// Reports occupancy to the memory manager when a collection has run
+  /// since the last report (one counter compare on the allocation path).
+  void MaybeReportOccupancy() {
+    if (mm_ != nullptr &&
+        stats_.minor_count + stats_.full_count != last_reported_gc_) {
+      ReportOccupancyNow();
+    }
+  }
+
   HeapConfig config_;
   ClassRegistry* registry_;
   std::unique_ptr<uint8_t[]> buffer_;
@@ -389,6 +414,9 @@ class Heap {
   bool oom_throws_ = false;
   bool in_oom_handler_ = false;
   uint32_t forced_alloc_failures_ = 0;
+
+  memory::ExecutorMemoryManager* mm_ = nullptr;
+  uint64_t last_reported_gc_ = 0;  // minor+full count at the last report
 };
 
 /// RAII scope for handles: releases every handle created after its

@@ -55,7 +55,10 @@ std::vector<uint8_t> ReadFile(const std::string& path) {
 
 CacheManager::CacheManager(jvm::Heap* heap, const SparkConfig* config,
                            int executor_id)
-    : heap_(heap), cfg_(config), executor_id_(executor_id) {
+    : heap_(heap),
+      cfg_(config),
+      mm_(heap->memory_manager()),
+      executor_id_(executor_id) {
   heap_->AddRootProvider(this);
   std::error_code ec;
   std::filesystem::create_directories(cfg_->spill_dir, ec);
@@ -140,6 +143,11 @@ void CacheManager::PutObjects(BlockKey key, jvm::ObjRef records,
   e.lru_tick = ++lru_clock_;
   // A retried task may re-deposit its block: replace the old copy.
   Evict(key);
+  // The put itself never fails (MEMORY_AND_DISK semantics): overcommit is
+  // granted, then EnforceBudget sheds LRU blocks until the pool fits.
+  if (mm_ != nullptr) {
+    e.reservation = mm_->Reserve(memory::Pool::kStorage, e.bytes);
+  }
   blocks_.emplace(key, std::move(e));
   uint64_t now = memory_bytes_ += blocks_[key].bytes;
   if (now > peak_memory_bytes_.load(std::memory_order_relaxed)) {
@@ -159,6 +167,9 @@ void CacheManager::PutPages(BlockKey key,
   e.lru_tick = ++lru_clock_;
   // A retried task may re-deposit its block: replace the old copy.
   Evict(key);
+  // The group was built charging the execution pool (shuffle/agg path);
+  // cache ownership moves its footprint to the storage pool.
+  e.pages->SetChargePool(memory::Pool::kStorage);
   blocks_.emplace(key, std::move(e));
   uint64_t now = memory_bytes_ += blocks_[key].bytes;
   if (now > peak_memory_bytes_.load(std::memory_order_relaxed)) {
@@ -277,12 +288,25 @@ void CacheManager::SwapOut(BlockKey key, Entry* e, TaskMetrics* metrics) {
   e->disk_path = path;
   e->data = jvm::kNullRef;
   e->pages.reset();
+  e->reservation.Release();
   memory_bytes_ -= e->bytes;
   disk_bytes_ += e->bytes;
   ++swap_out_count_;
 }
 
 void CacheManager::EnforceBudget(TaskMetrics* metrics) {
+  if (mm_ != nullptr) {
+    // The storage pool's limit is whatever the execution pool is not
+    // using (Spark 1.6 borrowing); shed LRU blocks until it fits. A
+    // page-group block shared with a live container keeps its charge
+    // until the last reference drops, so the loop is bounded by the
+    // in-memory block count, not by the charge reaching the limit.
+    while (mm_->StorageOverLimit()) {
+      if (!SwapOutLru(metrics)) return;  // nothing left to evict
+    }
+    return;
+  }
+  // No manager (standalone cache in tests): legacy fixed budget.
   size_t budget = cfg_->storage_budget_bytes();
   while (memory_bytes_ > budget) {
     if (!SwapOutLru(metrics)) return;  // nothing left to evict
@@ -305,10 +329,9 @@ bool CacheManager::SwapOutLru(TaskMetrics* metrics) {
   return true;
 }
 
-uint64_t CacheManager::EvictUnderPressure(uint64_t need_bytes) {
-  // Called from the heap's OOM handler: swap in-memory blocks out to disk
-  // (LRU first) until roughly `need_bytes` of managed memory has been
-  // unpinned, so the follow-up full collection can reclaim it.
+uint64_t CacheManager::EvictBytes(uint64_t need_bytes) {
+  // Swap in-memory blocks out to disk (LRU first) until roughly
+  // `need_bytes` of managed memory has been unpinned.
   uint64_t freed = 0;
   uint64_t evicted = 0;
   TaskMetrics scratch;  // disk time charged to the task via spill counters
@@ -318,8 +341,21 @@ uint64_t CacheManager::EvictUnderPressure(uint64_t need_bytes) {
     freed += before - memory_bytes_.load(std::memory_order_relaxed);
     ++evicted;
   }
+  return evicted;
+}
+
+uint64_t CacheManager::EvictUnderPressure(uint64_t need_bytes) {
+  // Called from the heap's OOM handler (via the memory manager): unpin
+  // managed memory so the follow-up full collection can reclaim it.
+  uint64_t evicted = EvictBytes(need_bytes);
   pressure_evictions_.fetch_add(evicted, std::memory_order_relaxed);
   return evicted;
+}
+
+uint64_t CacheManager::EvictForExecution(uint64_t need_bytes) {
+  // Execution-pool borrowing: routine pool arbitration, so it does not
+  // count toward the OOM-pressure metric.
+  return EvictBytes(need_bytes);
 }
 
 void CacheManager::DropAllForWipe() {

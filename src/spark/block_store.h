@@ -10,6 +10,7 @@
 
 #include "core/page.h"
 #include "jvm/heap.h"
+#include "memory/memory_manager.h"
 #include "spark/config.h"
 #include "spark/metrics.h"
 #include "spark/record_ops.h"
@@ -50,9 +51,13 @@ struct LoadedBlock {
 };
 
 /// Per-executor cache manager: stores blocks at the configured storage
-/// level within a byte budget, evicting least-recently-used blocks to swap
-/// files on disk (Spark's MEMORY_AND_DISK). Deca page-group blocks are
-/// written to disk as raw page bytes — no serialization (paper Appendix C).
+/// level, charging the executor's unified memory manager's storage pool
+/// and evicting least-recently-used blocks to swap files on disk (Spark's
+/// MEMORY_AND_DISK) when the pool is over its limit. Deca page-group
+/// blocks are written to disk as raw page bytes — no serialization (paper
+/// Appendix C). Object/serialized blocks hold an explicit storage
+/// reservation; page-group blocks are re-tagged to the storage pool, so
+/// their footprint moves pools instead of being charged twice.
 ///
 /// Registered as a GC root provider: in-memory object/serialized blocks
 /// pin their managed arrays; page groups pin their own pages.
@@ -96,6 +101,12 @@ class CacheManager : public jvm::RootProvider {
   /// of blocks evicted (0 when nothing was in memory).
   uint64_t EvictUnderPressure(uint64_t need_bytes);
 
+  /// Execution-pool borrowing hook: same LRU swap-out as
+  /// EvictUnderPressure but does not count as a pressure eviction (it is
+  /// routine pool arbitration, not an OOM rescue). The memory manager
+  /// clamps `need_bytes` to what the storage floor permits.
+  uint64_t EvictForExecution(uint64_t need_bytes);
+
   /// Simulated executor crash: drops every block (memory and swap files)
   /// and zeroes the byte counters. Lost blocks are recomputed from lineage
   /// on the next access.
@@ -131,6 +142,10 @@ class CacheManager : public jvm::RootProvider {
     jvm::ObjRef data = jvm::kNullRef;  // Object[] or byte[] when in memory
     std::shared_ptr<core::PageGroup> pages;
     uint64_t bytes = 0;  // in-memory footprint estimate
+    // Storage-pool grant for object/serialized blocks (page-group blocks
+    // charge via their group's pool tag instead). Released on swap-out
+    // and on entry destruction.
+    memory::MemoryReservation reservation;
     bool on_disk = false;
     std::string disk_path;
     uint64_t lru_tick = 0;
@@ -143,10 +158,13 @@ class CacheManager : public jvm::RootProvider {
                                  size_t size, uint32_t count,
                                  TaskMetrics* metrics);
 
-  /// Evicts LRU blocks to disk until the storage budget is respected.
+  /// Evicts LRU blocks to disk while the storage pool is over its limit.
   void EnforceBudget(TaskMetrics* metrics);
   /// Swaps out the least-recently-used in-memory block; false if none.
   bool SwapOutLru(TaskMetrics* metrics);
+  /// LRU swap-out until about `need_bytes` are unpinned; returns blocks
+  /// evicted.
+  uint64_t EvictBytes(uint64_t need_bytes);
   void SwapOut(BlockKey key, Entry* e, TaskMetrics* metrics);
   std::string SwapPath(BlockKey key) const;
 
@@ -155,6 +173,7 @@ class CacheManager : public jvm::RootProvider {
 
   jvm::Heap* heap_;
   const SparkConfig* cfg_;
+  memory::ExecutorMemoryManager* mm_;  // may be null (standalone tests)
   int executor_id_;
   std::map<BlockKey, Entry> blocks_;
   std::map<int, const RecordOps*> ops_;

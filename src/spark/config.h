@@ -37,11 +37,19 @@ struct SparkConfig {
   /// Per-executor heap sizing and GC algorithm.
   jvm::HeapConfig heap;
 
+  /// Single per-executor byte budget arbitrated by the
+  /// memory::ExecutorMemoryManager (execution + storage pools, Spark
+  /// 1.6's spark.memory.* region). 0 (the default) derives it as
+  /// heap_bytes * memory_fraction.
+  size_t executor_memory_bytes = 0;
   /// Fraction of the heap available to storage + shuffle (Spark's
-  /// spark.memory.fraction).
+  /// spark.memory.fraction). Only consulted when executor_memory_bytes is
+  /// left 0.
   double memory_fraction = 0.65;
-  /// Share of the managed memory budget reserved for cached blocks vs.
-  /// shuffle buffers (the knob the paper's Table 4 tunes).
+  /// Share of executor_memory() reserved as the storage-pool floor —
+  /// cached blocks below it are safe from execution-pool borrowing
+  /// (Spark's spark.memory.storageFraction; the knob the paper's Table 4
+  /// tunes).
   double storage_fraction = 0.5;
 
   /// Cached-RDD storage level.
@@ -66,13 +74,26 @@ struct SparkConfig {
   /// Deterministic fault injection (disabled by default).
   fault::FaultConfig fault;
 
-  size_t storage_budget_bytes() const {
+  /// The unified per-executor memory budget (see executor_memory_bytes).
+  size_t executor_memory() const {
+    if (executor_memory_bytes != 0) return executor_memory_bytes;
     return static_cast<size_t>(static_cast<double>(heap.heap_bytes) *
-                               memory_fraction * storage_fraction);
+                               memory_fraction);
   }
+
+  /// Deprecated alias: the storage pool's floor within executor_memory().
+  /// Pre-unification this was a hard cache budget; it now only bounds how
+  /// far the execution pool can evict storage. Kept for callers that sized
+  /// flush thresholds off it (same default numerics).
+  size_t storage_budget_bytes() const {
+    return static_cast<size_t>(static_cast<double>(executor_memory()) *
+                               storage_fraction);
+  }
+  /// Deprecated alias: the execution region (executor_memory() minus the
+  /// storage floor). Pre-unification this was a hard shuffle budget.
   size_t shuffle_budget_bytes() const {
-    return static_cast<size_t>(static_cast<double>(heap.heap_bytes) *
-                               memory_fraction * (1.0 - storage_fraction));
+    return static_cast<size_t>(static_cast<double>(executor_memory()) *
+                               (1.0 - storage_fraction));
   }
 };
 

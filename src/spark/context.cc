@@ -77,6 +77,7 @@ void SparkContext::RunTaskAttempts(
     TaskContext tc(this, e, p, nparts);
     tc.metrics().queue_ms = queue_ms;
     double gc0 = e->heap()->stats().TotalPauseMs();
+    uint64_t denied0 = e->memory()->denied_reservations();
     Stopwatch sw;
     try {
       injector_.OnTaskAttempt(stage, p, attempt, e->heap());
@@ -103,6 +104,13 @@ void SparkContext::RunTaskAttempts(
     }
     tc.metrics().total_ms = sw.ElapsedMillis();
     tc.metrics().gc_ms = e->heap()->stats().TotalPauseMs() - gc0;
+    // Pool peaks are the executor's high-water marks as of task end (the
+    // stage fold takes the max); denials are this task's own delta.
+    const memory::ExecutorMemoryManager* mm = e->memory();
+    tc.metrics().exec_pool_peak_bytes = mm->exec_peak();
+    tc.metrics().storage_pool_peak_bytes = mm->storage_peak();
+    tc.metrics().borrowed_bytes = mm->borrowed_peak();
+    tc.metrics().denied_reservations = mm->denied_reservations() - denied0;
     sink_.Report(p, tc.metrics());
     return;
   }
@@ -133,6 +141,13 @@ void SparkContext::RunStageInternal(
   metrics_.task_retries += task_retries_.exchange(0);
   metrics_.injected_faults += injector_.TakeFired();
   metrics_.recomputed_blocks += recomputed_blocks_.exchange(0);
+  metrics_.exec_pool_peak_bytes = TotalExecPoolPeakBytes();
+  metrics_.storage_pool_peak_bytes = TotalStoragePoolPeakBytes();
+  metrics_.borrowed_bytes = TotalBorrowedBytes();
+  metrics_.denied_reservations = TotalDeniedReservations();
+  // Every byte must be charged to exactly one manager — checked at every
+  // stage barrier, in sequential and parallel runs alike.
+  for (auto& e : executors_) e->VerifyMemoryAccounting();
 }
 
 void SparkContext::RunStage(const std::string& name,
@@ -234,7 +249,7 @@ void SparkContext::ResetMetrics() { metrics_ = JobMetrics(); }
 double SparkContext::TotalGcPauseMs() const {
   double total = 0;
   for (const auto& e : executors_) {
-    total += const_cast<Executor&>(*e).heap()->stats().TotalPauseMs();
+    total += e->heap()->stats().TotalPauseMs();
   }
   return total;
 }
@@ -242,7 +257,7 @@ double SparkContext::TotalGcPauseMs() const {
 double SparkContext::TotalConcurrentGcMs() const {
   double total = 0;
   for (const auto& e : executors_) {
-    total += const_cast<Executor&>(*e).heap()->stats().concurrent_ms;
+    total += e->heap()->stats().concurrent_ms;
   }
   return total;
 }
@@ -250,7 +265,7 @@ double SparkContext::TotalConcurrentGcMs() const {
 uint64_t SparkContext::TotalMinorGcs() const {
   uint64_t total = 0;
   for (const auto& e : executors_) {
-    total += const_cast<Executor&>(*e).heap()->stats().minor_count;
+    total += e->heap()->stats().minor_count;
   }
   return total;
 }
@@ -258,7 +273,7 @@ uint64_t SparkContext::TotalMinorGcs() const {
 uint64_t SparkContext::TotalFullGcs() const {
   uint64_t total = 0;
   for (const auto& e : executors_) {
-    total += const_cast<Executor&>(*e).heap()->stats().full_count;
+    total += e->heap()->stats().full_count;
   }
   return total;
 }
@@ -266,7 +281,7 @@ uint64_t SparkContext::TotalFullGcs() const {
 uint64_t SparkContext::CachedMemoryBytes() const {
   uint64_t total = 0;
   for (const auto& e : executors_) {
-    total += const_cast<Executor&>(*e).cache()->memory_bytes();
+    total += e->cache()->memory_bytes();
   }
   return total;
 }
@@ -274,7 +289,7 @@ uint64_t SparkContext::CachedMemoryBytes() const {
 uint64_t SparkContext::PeakCachedMemoryBytes() const {
   uint64_t total = 0;
   for (const auto& e : executors_) {
-    total += const_cast<Executor&>(*e).cache()->peak_memory_bytes();
+    total += e->cache()->peak_memory_bytes();
   }
   return total;
 }
@@ -282,7 +297,7 @@ uint64_t SparkContext::PeakCachedMemoryBytes() const {
 uint64_t SparkContext::SwappedBytes() const {
   uint64_t total = 0;
   for (const auto& e : executors_) {
-    total += const_cast<Executor&>(*e).cache()->disk_bytes();
+    total += e->cache()->disk_bytes();
   }
   return total;
 }
@@ -290,7 +305,7 @@ uint64_t SparkContext::SwappedBytes() const {
 uint64_t SparkContext::TotalPressureEvictions() const {
   uint64_t total = 0;
   for (const auto& e : executors_) {
-    total += const_cast<Executor&>(*e).cache()->pressure_evictions();
+    total += e->cache()->pressure_evictions();
   }
   return total;
 }
@@ -298,9 +313,43 @@ uint64_t SparkContext::TotalPressureEvictions() const {
 uint64_t SparkContext::TotalOomRecoveries() const {
   uint64_t total = 0;
   for (const auto& e : executors_) {
-    total += const_cast<Executor&>(*e).heap()->stats().oom_recoveries;
+    total += e->heap()->stats().oom_recoveries;
   }
   return total;
+}
+
+uint64_t SparkContext::TotalExecPoolPeakBytes() const {
+  uint64_t total = 0;
+  for (const auto& e : executors_) total += e->memory()->exec_peak();
+  return total;
+}
+
+uint64_t SparkContext::TotalStoragePoolPeakBytes() const {
+  uint64_t total = 0;
+  for (const auto& e : executors_) total += e->memory()->storage_peak();
+  return total;
+}
+
+uint64_t SparkContext::TotalBorrowedBytes() const {
+  uint64_t total = 0;
+  for (const auto& e : executors_) total += e->memory()->borrowed_peak();
+  return total;
+}
+
+uint64_t SparkContext::TotalDeniedReservations() const {
+  uint64_t total = 0;
+  for (const auto& e : executors_) {
+    total += e->memory()->denied_reservations();
+  }
+  return total;
+}
+
+std::vector<memory::MemoryStats> SparkContext::ExecutorMemorySnapshots()
+    const {
+  std::vector<memory::MemoryStats> out;
+  out.reserve(executors_.size());
+  for (const auto& e : executors_) out.push_back(e->memory()->Snapshot());
+  return out;
 }
 
 }  // namespace deca::spark

@@ -5,12 +5,14 @@
 
 #include "jvm/class_registry.h"
 #include "jvm/heap.h"
+#include "memory/memory_manager.h"
 #include "spark/block_store.h"
 #include "spark/config.h"
 
 namespace deca::spark {
 
-/// One simulated executor: a managed heap plus its cache manager. Tasks
+/// One simulated executor: a unified memory manager, a managed heap and a
+/// cache manager, all charging the same per-executor byte budget. Tasks
 /// assigned to this executor allocate from its heap; GC pauses incurred
 /// while a task runs are attributed to that task.
 class Executor {
@@ -19,15 +21,27 @@ class Executor {
 
   int id() const { return id_; }
   jvm::Heap* heap() { return heap_.get(); }
+  const jvm::Heap* heap() const { return heap_.get(); }
   CacheManager* cache() { return cache_.get(); }
+  const CacheManager* cache() const { return cache_.get(); }
+  memory::ExecutorMemoryManager* memory() { return memory_.get(); }
+  const memory::ExecutorMemoryManager* memory() const {
+    return memory_.get();
+  }
 
   /// Simulated executor crash: drops all cached blocks and resets the
   /// heap to its freshly-constructed state (registered root providers are
   /// kept). Must run on the thread that owns the heap.
   void Wipe();
 
+  /// Accounting identity check (stage barriers, tests): syncs the heap's
+  /// occupancy report, then asserts the manager's view matches the live
+  /// heap capacity and the summed footprint of every live page group.
+  void VerifyMemoryAccounting();
+
  private:
   int id_;
+  std::unique_ptr<memory::ExecutorMemoryManager> memory_;
   std::unique_ptr<jvm::Heap> heap_;
   std::unique_ptr<CacheManager> cache_;
 };

@@ -19,6 +19,14 @@ struct TaskMetrics {
   double deser_ms = 0;         // deserialization (cache + shuffle read)
   double spill_ms = 0;         // cache swap + shuffle spill disk I/O
 
+  // Unified memory-manager plane, sampled from the task's executor when
+  // the task finishes. Peaks are high-water marks (folded with max);
+  // denied_reservations is the task's own delta (folded with +).
+  uint64_t exec_pool_peak_bytes = 0;
+  uint64_t storage_pool_peak_bytes = 0;
+  uint64_t borrowed_bytes = 0;         // peak bytes across the pool split
+  uint64_t denied_reservations = 0;
+
   double compute_ms() const {
     double other = gc_ms + shuffle_read_ms + shuffle_write_ms + ser_ms +
                    deser_ms + spill_ms;
@@ -34,6 +42,14 @@ struct TaskMetrics {
     ser_ms += t.ser_ms;
     deser_ms += t.deser_ms;
     spill_ms += t.spill_ms;
+    if (t.exec_pool_peak_bytes > exec_pool_peak_bytes) {
+      exec_pool_peak_bytes = t.exec_pool_peak_bytes;
+    }
+    if (t.storage_pool_peak_bytes > storage_pool_peak_bytes) {
+      storage_pool_peak_bytes = t.storage_pool_peak_bytes;
+    }
+    if (t.borrowed_bytes > borrowed_bytes) borrowed_bytes = t.borrowed_bytes;
+    denied_reservations += t.denied_reservations;
   }
 };
 
@@ -47,6 +63,13 @@ struct JobMetrics {
   double concurrent_gc_ms = 0;
   uint64_t cached_bytes = 0;    // peak cached data across executors
   uint64_t spilled_bytes = 0;
+
+  // Unified memory-manager plane, summed across executors at each stage
+  // barrier (peaks are per-executor high-water marks).
+  uint64_t exec_pool_peak_bytes = 0;
+  uint64_t storage_pool_peak_bytes = 0;
+  uint64_t borrowed_bytes = 0;
+  uint64_t denied_reservations = 0;
 
   // Fault-tolerance counters. All stay zero when injection is disabled
   // and no real fault occurs.

@@ -438,11 +438,10 @@ void DecaStaticHashShuffleBuffer::ForEach(
 // -- DecaSortSpillWriter --------------------------------------------------------
 
 DecaSortSpillWriter::DecaSortSpillWriter(jvm::Heap* heap, uint32_t page_bytes,
-                                         uint64_t memory_budget_bytes,
                                          std::string spill_dir, Less less)
     : heap_(heap),
       page_bytes_(page_bytes),
-      budget_(memory_budget_bytes),
+      mm_(heap->memory_manager()),
       dir_(std::move(spill_dir)),
       less_(std::move(less)),
       pages_(std::make_shared<core::PageGroup>(heap, page_bytes)) {}
@@ -452,10 +451,18 @@ DecaSortSpillWriter::~DecaSortSpillWriter() {
 }
 
 void DecaSortSpillWriter::Append(const uint8_t* data, uint32_t bytes) {
+  // Spill is reservation-denial driven: before committing to a fresh
+  // page, probe the execution pool (which may first evict storage down to
+  // its floor). Denied -> sort and spill the current run, freeing its
+  // pages, then start the new run.
+  if (mm_ != nullptr && pages_->page_count() > 0 &&
+      pages_->NeedsNewPage(bytes) &&
+      !mm_->TryExecutionRoom(pages_->page_cost_bytes())) {
+    SpillCurrentRun();
+  }
   core::SegPtr seg = pages_->Append(bytes);
   std::memcpy(pages_->Resolve(seg), data, bytes);
   entries_.emplace_back(seg, bytes);
-  if (pages_->footprint_bytes() > budget_) SpillCurrentRun();
 }
 
 void DecaSortSpillWriter::SpillCurrentRun() {

@@ -221,18 +221,19 @@ class DecaStaticHashShuffleBuffer {
 };
 
 /// Sort-based shuffle with disk spilling (paper Appendix C): records
-/// accumulate in a page group with a native pointer array; when the
-/// memory budget is exceeded the run is sorted and spilled to a file.
-/// The final pass streams a k-way merge of all spilled runs plus the
-/// in-memory run, holding only one record per run in memory (the paper's
-/// "small memory space, normally only one page" merge).
+/// accumulate in a page group charged to the execution pool; when the
+/// executor's memory manager denies the next page (no execution room even
+/// after evicting storage to its floor) the run is sorted and spilled to
+/// a file. The final pass streams a k-way merge of all spilled runs plus
+/// the in-memory run, holding only one record per run in memory (the
+/// paper's "small memory space, normally only one page" merge). A heap
+/// without a memory manager never spills before Merge.
 class DecaSortSpillWriter {
  public:
   using Less = std::function<bool(const uint8_t*, const uint8_t*)>;
 
   DecaSortSpillWriter(jvm::Heap* heap, uint32_t page_bytes,
-                      uint64_t memory_budget_bytes, std::string spill_dir,
-                      Less less);
+                      std::string spill_dir, Less less);
   ~DecaSortSpillWriter();
 
   /// Appends one record; may sort + spill the current run to disk.
@@ -251,7 +252,7 @@ class DecaSortSpillWriter {
 
   jvm::Heap* heap_;
   uint32_t page_bytes_;
-  uint64_t budget_;
+  memory::ExecutorMemoryManager* mm_;  // may be null
   std::string dir_;
   Less less_;
   std::shared_ptr<core::PageGroup> pages_;

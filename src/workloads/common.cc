@@ -53,6 +53,8 @@ void FinalizeResult(spark::SparkContext* ctx, RunResult* result) {
   result->recomputed_blocks = ctx->metrics().recomputed_blocks;
   result->pressure_evictions = ctx->TotalPressureEvictions();
   result->oom_recoveries = ctx->TotalOomRecoveries();
+  result->denied_reservations = ctx->TotalDeniedReservations();
+  result->executor_memory = ctx->ExecutorMemorySnapshots();
 }
 
 }  // namespace deca::workloads

@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/histogram.h"
+#include "memory/memory_manager.h"
 #include "spark/context.h"
 
 namespace deca::workloads {
@@ -50,6 +52,11 @@ struct RunResult {
   uint64_t recomputed_blocks = 0;
   uint64_t pressure_evictions = 0;
   uint64_t oom_recoveries = 0;
+
+  // Unified memory-manager plane: denial total plus one snapshot per
+  // executor (executor-id order) for the per-executor memory table.
+  uint64_t denied_reservations = 0;
+  std::vector<memory::MemoryStats> executor_memory;
 
   // Optional lifetime profile (figures 8a / 9a): live tracked-object count
   // and cumulative GC ms sampled over run time.

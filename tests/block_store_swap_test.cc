@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "spark/context.h"
+
+namespace deca::spark {
+namespace {
+
+/// Test record: class Rec { long id; double val; }.
+struct RecModel {
+  explicit RecModel(jvm::ClassRegistry* registry) {
+    class_id = registry->RegisterClass(
+        "Rec",
+        {{"id", jvm::FieldKind::kLong}, {"val", jvm::FieldKind::kDouble}});
+    ops.managed_bytes = [](jvm::Heap*, jvm::ObjRef) -> uint64_t {
+      return jvm::kHeaderBytes + 16;
+    };
+    ops.serialize = [](jvm::Heap* h, jvm::ObjRef r, ByteWriter* w) {
+      w->WriteVarI64(h->GetField<int64_t>(r, 0));
+      w->Write<double>(h->GetField<double>(r, 8));
+    };
+    uint32_t cid = class_id;
+    ops.deserialize = [cid](jvm::Heap* h, ByteReader* r) {
+      int64_t id = r->ReadVarI64();
+      double val = r->Read<double>();
+      jvm::ObjRef rec = h->AllocateInstance(cid);
+      h->SetField<int64_t>(rec, 0, id);
+      h->SetField<double>(rec, 8, val);
+      return rec;
+    };
+  }
+
+  uint32_t class_id;
+  RecordOps ops;
+};
+
+SparkConfig OneExecutorConfig() {
+  SparkConfig cfg;
+  cfg.num_executors = 1;
+  cfg.partitions_per_executor = 1;
+  cfg.heap.heap_bytes = 16u << 20;
+  cfg.spill_dir = "/tmp/deca_test_swap";
+  return cfg;
+}
+
+/// A serialized block forced to disk must stream back byte-identical, with
+/// the swap accounted as a pressure eviction and the reload's disk time
+/// charged to spill_ms.
+TEST(BlockStoreSwapTest, SerializedBlockRoundTripsThroughSwapFile) {
+  SparkConfig cfg = OneExecutorConfig();
+  cfg.cache_level = StorageLevel::kMemorySerialized;
+  SparkContext ctx(cfg);
+  RecModel model(ctx.registry());
+  ctx.RegisterCachedRdd(3, &model.ops);
+
+  const int n = 5000;
+  std::vector<uint8_t> before;
+  ctx.RunStage("build", [&](TaskContext& tc) {
+    jvm::Heap* h = tc.heap();
+    jvm::HandleScope scope(h);
+    jvm::Handle arr =
+        scope.Make(h->AllocateArray(h->registry()->ref_array_class(), n));
+    for (int i = 0; i < n; ++i) {
+      jvm::HandleScope inner(h);
+      jvm::ObjRef rec = h->AllocateInstance(model.class_id);
+      h->SetField<int64_t>(rec, 0, i * 31);
+      h->SetField<double>(rec, 8, i * 0.125);
+      h->SetRefElem(arr.get(), static_cast<uint32_t>(i), rec);
+    }
+    tc.cache()->PutObjects({3, 0}, arr.get(), n, &tc.metrics());
+    // Snapshot the in-memory serialized bytes for the later comparison.
+    LoadedBlock block = tc.cache()->Get({3, 0}, &tc.metrics());
+    ASSERT_TRUE(block.valid());
+    ASSERT_NE(block.serialized, jvm::kNullRef);
+    const uint8_t* data = h->ArrayData(block.serialized);
+    before.assign(data, data + h->ArrayLength(block.serialized));
+  });
+  ASSERT_FALSE(before.empty());
+
+  Executor* e = ctx.executor(0);
+  uint64_t held = e->memory()->storage_used();
+  EXPECT_GT(held, 0u);
+
+  // The OOM degradation ladder swaps the block out.
+  uint64_t evicted = e->memory()->EvictStorageForOom(UINT64_MAX);
+  EXPECT_EQ(evicted, 1u);
+  EXPECT_EQ(e->cache()->pressure_evictions(), 1u);
+  EXPECT_EQ(e->cache()->swap_out_count(), 1u);
+  EXPECT_EQ(e->cache()->memory_bytes(), 0u);
+  EXPECT_GT(e->cache()->disk_bytes(), 0u);
+  // The swap released the block's storage reservation.
+  EXPECT_EQ(e->memory()->storage_used(), 0u);
+  e->VerifyMemoryAccounting();
+
+  double spill0 = ctx.metrics().tasks.spill_ms;
+  ctx.RunStage("reload", [&](TaskContext& tc) {
+    jvm::Heap* h = tc.heap();
+    LoadedBlock block = tc.cache()->Get({3, 0}, &tc.metrics());
+    ASSERT_TRUE(block.valid());
+    EXPECT_TRUE(block.temporary);
+    ASSERT_NE(block.serialized, jvm::kNullRef);
+    ASSERT_EQ(h->ArrayLength(block.serialized),
+              static_cast<uint32_t>(before.size()));
+    EXPECT_EQ(std::memcmp(h->ArrayData(block.serialized), before.data(),
+                          before.size()),
+              0);
+  });
+  // Streaming the block back from disk is spill time.
+  EXPECT_GT(ctx.metrics().tasks.spill_ms, spill0);
+  // Swapped blocks stay on disk; the counters must not drift.
+  EXPECT_EQ(e->cache()->memory_bytes(), 0u);
+  EXPECT_GT(e->cache()->disk_bytes(), 0u);
+}
+
+/// A Deca page-group block swaps as raw page bytes (no serialization) and
+/// must reload byte-identical.
+TEST(BlockStoreSwapTest, PageGroupBlockRoundTripsThroughSwapFile) {
+  SparkConfig cfg = OneExecutorConfig();
+  cfg.cache_level = StorageLevel::kDecaPages;
+  cfg.deca_page_bytes = 4096;
+  SparkContext ctx(cfg);
+
+  const int n = 3000;
+  std::vector<uint8_t> before(static_cast<size_t>(n) * 16);
+  ctx.RunStage("build", [&](TaskContext& tc) {
+    auto pages = std::make_shared<core::PageGroup>(tc.heap(), 4096);
+    for (int i = 0; i < n; ++i) {
+      core::SegPtr s = pages->Append(16);
+      uint8_t* p = pages->Resolve(s);
+      StoreRaw<int64_t>(p, 0x0123456789abcdefLL ^ i);
+      StoreRaw<double>(p + 8, i * 3.5);
+      std::memcpy(before.data() + static_cast<size_t>(i) * 16, p, 16);
+    }
+    tc.cache()->PutPages({9, 0}, std::move(pages), n, &tc.metrics());
+  });
+
+  Executor* e = ctx.executor(0);
+  // The cached group was re-tagged execution -> storage.
+  EXPECT_GT(e->memory()->storage_used(), 0u);
+  EXPECT_EQ(e->memory()->exec_used(), 0u);
+
+  uint64_t evicted = e->memory()->EvictStorageForOom(UINT64_MAX);
+  EXPECT_EQ(evicted, 1u);
+  EXPECT_EQ(e->cache()->pressure_evictions(), 1u);
+  // Destroying the swapped group released its storage page charge.
+  EXPECT_EQ(e->memory()->storage_used(), 0u);
+  EXPECT_EQ(e->memory()->page_bytes(), 0u);
+  e->VerifyMemoryAccounting();
+
+  double ser0 = ctx.metrics().tasks.ser_ms;
+  double spill0 = ctx.metrics().tasks.spill_ms;
+  ctx.RunStage("reload", [&](TaskContext& tc) {
+    LoadedBlock block = tc.cache()->Get({9, 0}, &tc.metrics());
+    ASSERT_TRUE(block.valid());
+    EXPECT_TRUE(block.temporary);
+    ASSERT_NE(block.pages, nullptr);
+    core::PageScanner scan(block.pages.get());
+    size_t i = 0;
+    while (!scan.AtEnd()) {
+      ASSERT_LT(i, static_cast<size_t>(n));
+      EXPECT_EQ(std::memcmp(scan.Cur(), before.data() + i * 16, 16), 0);
+      scan.Advance(16);
+      ++i;
+    }
+    EXPECT_EQ(i, static_cast<size_t>(n));
+  });
+  // Raw page reload: disk time but no deserialization.
+  EXPECT_GT(ctx.metrics().tasks.spill_ms, spill0);
+  EXPECT_EQ(ctx.metrics().tasks.ser_ms, ser0);
+  EXPECT_EQ(ctx.metrics().tasks.deser_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace deca::spark

@@ -259,15 +259,16 @@ TEST_P(SortSpillTest, MergedStreamIsSortedAndComplete) {
   cfg.num_executors = 1;
   cfg.heap.heap_bytes = 24u << 20;
   cfg.spill_dir = "/tmp/deca_test_spill_prop";
+  // Tiny unified budget: the execution pool denies pages early, forcing
+  // several spills (the writer spills when its page probe is denied).
+  uint64_t budget = GetParam() % 2 == 0 ? (32u << 10) : (1u << 20);
+  cfg.executor_memory_bytes = budget;
   SparkContext ctx(cfg);
   jvm::Heap* h = ctx.executor(0)->heap();
   auto less = [](const uint8_t* a, const uint8_t* b) {
     return LoadRaw<int64_t>(a) < LoadRaw<int64_t>(b);
   };
-  // Tiny budget forces several spills.
-  uint64_t budget = GetParam() % 2 == 0 ? (32u << 10) : (1u << 20);
-  DecaSortSpillWriter writer(h, 8 << 10, budget,
-                             "/tmp/deca_test_spill_prop", less);
+  DecaSortSpillWriter writer(h, 8 << 10, "/tmp/deca_test_spill_prop", less);
   Rng rng(GetParam() * 7 + 3);
   std::multiset<int64_t> expected;
   const int n = 20000;
