@@ -1,12 +1,16 @@
 #ifndef DECA_BENCH_BENCH_UTIL_H_
 #define DECA_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "common/table_printer.h"
+#include "obs/chrome_trace.h"
+#include "obs/run_report.h"
 #include "workloads/common.h"
 
 namespace deca::bench {
@@ -27,6 +31,24 @@ inline double EnvDouble(const char* name, double def) {
 inline uint64_t EnvU64(const char* name, uint64_t def) {
   const char* e = std::getenv(name);
   return e != nullptr ? std::strtoull(e, nullptr, 10) : def;
+}
+
+/// Uniform workload down-scale divisor (DECA_SCALE, default 1). CI's
+/// bench-smoke job sets it so the figure benches finish in seconds; the
+/// committed baselines are generated at the same scale, so deterministic
+/// counters still compare exactly.
+inline uint64_t Scaled(uint64_t n) {
+  static const uint64_t scale =
+      static_cast<uint64_t>(EnvInt("DECA_SCALE", 1));
+  return std::max<uint64_t>(1, n / scale);
+}
+
+/// Process-wide "a machine-readable report/trace was requested" flag, set
+/// by BenchReport before the first DefaultSpark call so every context the
+/// bench creates records trace events.
+inline bool& TraceRequested() {
+  static bool v = false;
+  return v;
 }
 
 /// Prints the effective engine configuration once per process, so a bench
@@ -88,9 +110,155 @@ inline spark::SparkConfig DefaultSpark(size_t heap_mb = 64) {
   cfg.storage_fraction =
       EnvDouble("DECA_STORAGE_FRACTION", cfg.storage_fraction);
   cfg.spill_dir = "/tmp/deca_bench_spill";
+  // Structured tracing: on when a report/trace file was requested
+  // (BenchReport) or forced via DECA_TRACE=1. Off by default — the task
+  // hot path then costs one thread-local load per hook.
+  cfg.trace_enabled = TraceRequested() || EnvInt("DECA_TRACE", 0, 1) > 0;
+  cfg.trace_ring_capacity =
+      static_cast<uint32_t>(EnvU64("DECA_TRACE_RING", 1u << 15));
   PrintEffectiveConfigOnce(cfg);
   return cfg;
 }
+
+/// Machine-readable run reporting for bench binaries.
+///
+/// Construct first thing in main (before any DefaultSpark call):
+///   BenchReport report("fig11_breakdown", argc, argv);
+///   ...
+///   report.AddRun("LR-small/Spark", r.run);
+///
+/// Output targets (either enables tracing for the whole process):
+///   --json-out=PATH  / DECA_JSON_OUT=PATH   compact RunReport JSON
+///   --trace-out=PATH / DECA_TRACE_OUT=PATH  Chrome trace_event JSON of
+///                                           the last added run's trace
+/// Files are written in the destructor (i.e. at the end of main).
+/// Deterministic counters are marked exact; wall times are not, so
+/// report_diff compares them with a relative threshold only.
+class BenchReport {
+ public:
+  BenchReport(const std::string& bench, int argc, char** argv) {
+    report_.bench = bench;
+    const char* env_json = std::getenv("DECA_JSON_OUT");
+    const char* env_trace = std::getenv("DECA_TRACE_OUT");
+    if (env_json != nullptr) json_path_ = env_json;
+    if (env_trace != nullptr) trace_path_ = env_trace;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--json-out=", 0) == 0) {
+        json_path_ = arg.substr(std::string("--json-out=").size());
+      } else if (arg.rfind("--trace-out=", 0) == 0) {
+        trace_path_ = arg.substr(std::string("--trace-out=").size());
+      }
+    }
+    if (!json_path_.empty() || !trace_path_.empty()) TraceRequested() = true;
+  }
+
+  ~BenchReport() { Write(); }
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  bool enabled() const { return !json_path_.empty() || !trace_path_.empty(); }
+
+  /// Adds one run to the report. Exact metrics are deterministic counters
+  /// and byte peaks; *_ms metrics are wall times.
+  void AddRun(const std::string& label, const workloads::RunResult& r) {
+    obs::ReportRun run;
+    run.label = label;
+    auto exact = [&run](const char* name, double v) {
+      run.Add(name, v, /*exact=*/true);
+    };
+    auto time = [&run](const char* name, double v) {
+      run.Add(name, v, /*exact=*/false);
+    };
+    exact("minor_gcs", static_cast<double>(r.minor_gcs));
+    exact("full_gcs", static_cast<double>(r.full_gcs));
+    exact("cached_mb", r.cached_mb);
+    exact("swapped_mb", r.swapped_mb);
+    exact("task_retries", static_cast<double>(r.task_retries));
+    exact("injected_faults", static_cast<double>(r.injected_faults));
+    exact("executor_wipes", static_cast<double>(r.executor_wipes));
+    exact("recomputed_blocks", static_cast<double>(r.recomputed_blocks));
+    exact("pressure_evictions", static_cast<double>(r.pressure_evictions));
+    exact("oom_recoveries", static_cast<double>(r.oom_recoveries));
+    exact("denied_reservations", static_cast<double>(r.denied_reservations));
+    uint64_t exec_peak = 0;
+    uint64_t storage_peak = 0;
+    uint64_t borrowed_peak = 0;
+    for (const memory::MemoryStats& m : r.executor_memory) {
+      exec_peak += m.exec_peak;
+      storage_peak += m.storage_peak;
+      borrowed_peak += m.borrowed_peak;
+    }
+    exact("exec_pool_peak_bytes", static_cast<double>(exec_peak));
+    exact("storage_pool_peak_bytes", static_cast<double>(storage_peak));
+    exact("borrowed_peak_bytes", static_cast<double>(borrowed_peak));
+    // The slowest task is selected by wall time, so which task's peak this
+    // is varies across machines — threshold-compared, not exact.
+    time("slowest.pool_peak_bytes",
+         static_cast<double>(r.slowest_task.exec_pool_peak_bytes +
+                             r.slowest_task.storage_pool_peak_bytes));
+    time("exec_ms", r.exec_ms);
+    time("load_ms", r.load_ms);
+    time("gc_ms", r.gc_ms);
+    time("concurrent_gc_ms", r.concurrent_gc_ms);
+    time("shuffle_read_ms", r.shuffle_read_ms);
+    time("shuffle_write_ms", r.shuffle_write_ms);
+    time("ser_ms", r.ser_ms);
+    time("deser_ms", r.deser_ms);
+    time("spill_ms", r.spill_ms);
+    time("compute_ms", r.compute_ms);
+    time("slowest.total_ms", r.slowest_task.total_ms);
+    time("slowest.compute_ms", r.slowest_task.compute_ms());
+    time("slowest.gc_ms", r.slowest_task.gc_ms);
+    time("slowest.queue_ms", r.slowest_task.queue_ms);
+    if (r.trace != nullptr) {
+      exact("trace.dropped_events",
+            static_cast<double>(r.trace->dropped_events));
+      run.spans = r.trace->Aggregate();
+      last_trace_ = r.trace;
+    }
+    report_.runs.push_back(std::move(run));
+  }
+
+ private:
+  void Write() {
+    if (!json_path_.empty()) {
+      std::string err;
+      if (!obs::Validate(report_, &err)) {
+        std::fprintf(stderr, "bench report invalid, not written: %s\n",
+                     err.c_str());
+      } else if (!WriteTextFile(json_path_, obs::ToJson(report_))) {
+        std::fprintf(stderr, "cannot write report to %s\n",
+                     json_path_.c_str());
+      } else {
+        std::printf("run report: %s\n", json_path_.c_str());
+      }
+    }
+    if (!trace_path_.empty() && last_trace_ != nullptr) {
+      std::string err;
+      if (!obs::WriteChromeTrace(*last_trace_, trace_path_, &err)) {
+        std::fprintf(stderr, "cannot write trace: %s\n", err.c_str());
+      } else {
+        std::printf("chrome trace (last run): %s\n", trace_path_.c_str());
+      }
+    }
+  }
+
+  static bool WriteTextFile(const std::string& path,
+                            const std::string& content) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    size_t written = std::fwrite(content.data(), 1, content.size(), f);
+    bool ok = written == content.size();
+    return std::fclose(f) == 0 && ok;
+  }
+
+  obs::RunReport report_;
+  std::string json_path_;
+  std::string trace_path_;
+  std::shared_ptr<obs::TraceLog> last_trace_;
+};
 
 /// Accumulates the fault-tolerance counters across a bench's runs and
 /// prints a summary table — only when something actually fired, so

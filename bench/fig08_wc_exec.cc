@@ -11,7 +11,8 @@ using namespace deca;
 using namespace deca::bench;
 using namespace deca::workloads;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("fig08_wc_exec", argc, argv);
   PrintHeader("Figure 8(b): WordCount execution time",
               "Fig. 8(b) — sizes {50,100,150}GB x keys {10M,100M}",
               "Scaled: words {1M,2M,3M} x distinct keys {20k,200k}");
@@ -19,8 +20,9 @@ int main() {
   RunResult last_spark, last_deca;
   TablePrinter t({"keys", "words", "Spark exec(ms)", "Spark gc(ms)",
                   "Deca exec(ms)", "Deca gc(ms)", "reduction", "speedup"});
-  for (uint64_t keys : {20'000ull, 200'000ull}) {
-    for (uint64_t words : {1'000'000ull, 2'000'000ull, 3'000'000ull}) {
+  for (uint64_t keys : {Scaled(20'000), Scaled(200'000)}) {
+    for (uint64_t words :
+         {Scaled(1'000'000), Scaled(2'000'000), Scaled(3'000'000)}) {
       WordCountParams p;
       p.total_words = words;
       p.distinct_keys = keys;
@@ -33,6 +35,10 @@ int main() {
       faults.Add(deca.run);
       last_spark = spark.run;
       last_deca = deca.run;
+      std::string cell =
+          std::to_string(keys) + "k/" + std::to_string(words) + "w";
+      report.AddRun(cell + "/Spark", spark.run);
+      report.AddRun(cell + "/Deca", deca.run);
       t.AddRow({std::to_string(keys), std::to_string(words),
                 Ms(spark.run.exec_ms), Ms(spark.run.gc_ms),
                 Ms(deca.run.exec_ms), Ms(deca.run.gc_ms),

@@ -11,7 +11,8 @@ using namespace deca;
 using namespace deca::bench;
 using namespace deca::workloads;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("fig08_wc_lifetime", argc, argv);
   PrintHeader("Figure 8(a): WordCount shuffle-object lifetimes",
               "Fig. 8(a) — live Tuple2 count + GC time over run time",
               "Scaled: 3M words, 200k distinct keys, 2 executors x 64MB");
@@ -25,6 +26,7 @@ int main() {
   for (Mode mode : {Mode::kSpark, Mode::kDeca}) {
     p.mode = mode;
     WordCountResult r = RunWordCount(p);
+    report.AddRun(ModeName(mode), r.run);
     std::printf("\n--- %s: exec=%.0fms gc=%.1fms (minor=%llu full=%llu)\n",
                 ModeName(mode), r.run.exec_ms, r.run.gc_ms,
                 static_cast<unsigned long long>(r.run.minor_gcs),

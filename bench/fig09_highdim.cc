@@ -14,7 +14,8 @@ using namespace deca;
 using namespace deca::bench;
 using namespace deca::workloads;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("fig09_highdim", argc, argv);
   PrintHeader("Figure 9(d): high-dimensional (4096-d) LR and KMeans",
               "Fig. 9(d) — Amazon image dataset {40,80}GB",
               "Scaled: synthetic 4096-dim vectors, {1200, 2400} points");
@@ -33,6 +34,8 @@ int main() {
       p.spark.deca_page_bytes = 256u << 10;  // fit 32KB records comfortably
       LrResult r = RunLogisticRegression(p);
       if (mode == Mode::kSpark) spark_ms = r.run.exec_ms;
+      report.AddRun("LR/" + std::to_string(pts) + "pts/" + ModeName(mode),
+                    r.run);
       t.AddRow({"LR", std::to_string(pts), ModeName(mode), Ms(r.run.exec_ms),
                 Ms(r.run.gc_ms), Mb(r.run.cached_mb), Mb(r.run.swapped_mb),
                 Speedup(spark_ms, r.run.exec_ms)});
@@ -52,6 +55,9 @@ int main() {
       p.spark.deca_page_bytes = 256u << 10;
       KMeansResult r = RunKMeans(p);
       if (mode == Mode::kSpark) spark_ms = r.run.exec_ms;
+      report.AddRun("KMeans/" + std::to_string(pts) + "pts/" +
+                        ModeName(mode),
+                    r.run);
       t.AddRow({"KMeans", std::to_string(pts), ModeName(mode),
                 Ms(r.run.exec_ms), Ms(r.run.gc_ms), Mb(r.run.cached_mb),
                 Mb(r.run.swapped_mb), Speedup(spark_ms, r.run.exec_ms)});

@@ -9,7 +9,8 @@ using namespace deca;
 using namespace deca::bench;
 using namespace deca::workloads;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("fig09_kmeans_exec", argc, argv);
   PrintHeader("Figure 9(c): KMeans execution time",
               "Fig. 9(c) — sizes {40..200}GB, Spark/SparkSer/Deca",
               "Scaled: 10-dim points {120k..600k}, k=10, 8 iters");
@@ -31,6 +32,7 @@ int main() {
       (void)dummy;
       KMeansResult r = RunKMeans(p);
       if (mode == Mode::kSpark) spark_ms = r.run.exec_ms;
+      report.AddRun(std::to_string(pts) + "pts/" + ModeName(mode), r.run);
       t.AddRow({std::to_string(pts), ModeName(mode), Ms(r.run.exec_ms),
                 Ms(r.run.gc_ms), Pct(100.0 * r.run.gc_ms / r.run.exec_ms),
                 std::to_string(r.run.full_gcs), Mb(r.run.cached_mb),

@@ -11,7 +11,8 @@ using namespace deca;
 using namespace deca::bench;
 using namespace deca::workloads;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("fig09_lr_exec", argc, argv);
   PrintHeader("Figure 9(b): Logistic Regression execution time",
               "Fig. 9(b) — sizes {40..200}GB, Spark/SparkSer/Deca",
               "Scaled: 10-dim points {160k..800k}, 10 iters, 2 x 64MB heaps,"
@@ -19,7 +20,8 @@ int main() {
   TablePrinter t({"points", "mode", "exec(ms)", "gc(ms)", "gc%", "full GCs",
                   "cached(MB)", "swapped(MB)", "vs Spark"});
   for (uint64_t pts :
-       {160'000ull, 320'000ull, 480'000ull, 640'000ull, 800'000ull}) {
+       {Scaled(160'000), Scaled(320'000), Scaled(480'000), Scaled(640'000),
+        Scaled(800'000)}) {
     double spark_ms = 0;
     for (Mode mode : {Mode::kSpark, Mode::kSparkSer, Mode::kDeca}) {
       MlParams p;
@@ -31,6 +33,7 @@ int main() {
       p.spark.storage_fraction = 0.9;
       LrResult r = RunLogisticRegression(p);
       if (mode == Mode::kSpark) spark_ms = r.run.exec_ms;
+      report.AddRun(std::to_string(pts) + "pts/" + ModeName(mode), r.run);
       t.AddRow({std::to_string(pts), ModeName(mode), Ms(r.run.exec_ms),
                 Ms(r.run.gc_ms), Pct(100.0 * r.run.gc_ms / r.run.exec_ms),
                 std::to_string(r.run.full_gcs), Mb(r.run.cached_mb),

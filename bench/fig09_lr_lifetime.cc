@@ -10,7 +10,8 @@ using namespace deca;
 using namespace deca::bench;
 using namespace deca::workloads;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("fig09_lr_lifetime", argc, argv);
   PrintHeader("Figure 9(a): LR cached-object lifetimes",
               "Fig. 9(a) — live LabeledPoint count + GC time over run time",
               "Scaled: 480k 10-dim points, 15 iterations, 2 x 64MB heaps");
@@ -25,6 +26,7 @@ int main() {
   for (Mode mode : {Mode::kSpark, Mode::kDeca}) {
     p.mode = mode;
     LrResult r = RunLogisticRegression(p);
+    report.AddRun(ModeName(mode), r.run);
     std::printf("\n--- %s: exec=%.0fms gc=%.1fms (minor=%llu full=%llu)\n",
                 ModeName(mode), r.run.exec_ms, r.run.gc_ms,
                 static_cast<unsigned long long>(r.run.minor_gcs),

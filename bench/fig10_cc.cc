@@ -8,7 +8,8 @@ using namespace deca;
 using namespace deca::bench;
 using namespace deca::workloads;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("fig10_cc", argc, argv);
   PrintHeader("Figure 10(b): ConnectedComponents",
               "Fig. 10(b) — LJ(2GB) / WB(30GB) / HB(60GB) graphs",
               "Scaled: RMAT graphs {64k/512k, 128k/1M, 256k/2M} (V/E), "
@@ -34,6 +35,7 @@ int main() {
       p.spark.storage_fraction = 0.4;
       ConnectedComponentsResult r = RunConnectedComponents(p);
       if (mode == Mode::kSpark) spark_ms = r.run.exec_ms;
+      report.AddRun(std::string(g.name) + "/" + ModeName(mode), r.run);
       t.AddRow({g.name, ModeName(mode), Ms(r.run.exec_ms), Ms(r.run.gc_ms),
                 Pct(100.0 * r.run.gc_ms / r.run.exec_ms), Mb(r.run.cached_mb),
                 std::to_string(r.components),

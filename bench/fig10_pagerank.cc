@@ -12,7 +12,8 @@ using namespace deca;
 using namespace deca::bench;
 using namespace deca::workloads;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("fig10_pagerank", argc, argv);
   PrintHeader("Figure 10(a): PageRank",
               "Fig. 10(a) — LJ(2GB) / WB(30GB) / HB(60GB) graphs",
               "Scaled: RMAT graphs {64k/512k, 128k/1M, 256k/2M} (V/E), "
@@ -38,6 +39,7 @@ int main() {
       p.spark.storage_fraction = 0.4;  // paper: 40% caching, rest shuffle
       PageRankResult r = RunPageRank(p);
       if (mode == Mode::kSpark) spark_ms = r.run.exec_ms;
+      report.AddRun(std::string(g.name) + "/" + ModeName(mode), r.run);
       t.AddRow({g.name, ModeName(mode), Ms(r.run.exec_ms), Ms(r.run.gc_ms),
                 Pct(100.0 * r.run.gc_ms / r.run.exec_ms), Mb(r.run.cached_mb),
                 Ms(r.run.load_ms), Speedup(spark_ms, r.run.exec_ms)});

@@ -26,7 +26,8 @@ void AddBreakdown(TablePrinter* t, const char* app, const char* mode,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("fig11_breakdown", argc, argv);
   PrintHeader("Figure 11: slowest-task execution time breakdown",
               "Fig. 11 — compute / GC / (de)ser / shuffle per task",
               "LR-small (fits), LR-large (GC + swap), PR (shuffle-heavy)");
@@ -36,7 +37,7 @@ int main() {
                   "shuf read", "shuf write", "disk", "queue", "mem(MB)"});
   for (Mode mode : {Mode::kSpark, Mode::kSparkSer, Mode::kDeca}) {
     MlParams p;
-    p.num_points = 240'000;
+    p.num_points = Scaled(240'000);
     p.iterations = 10;
     p.mode = mode;
     p.spark = DefaultSpark();
@@ -44,10 +45,11 @@ int main() {
     LrResult r = RunLogisticRegression(p);
     faults.Add(r.run);
     AddBreakdown(&t, "LR-small", ModeName(mode), r.run.slowest_task);
+    report.AddRun(std::string("LR-small/") + ModeName(mode), r.run);
   }
   for (Mode mode : {Mode::kSpark, Mode::kSparkSer, Mode::kDeca}) {
     MlParams p;
-    p.num_points = 800'000;
+    p.num_points = Scaled(800'000);
     p.iterations = 10;
     p.mode = mode;
     p.spark = DefaultSpark();
@@ -55,11 +57,12 @@ int main() {
     LrResult r = RunLogisticRegression(p);
     faults.Add(r.run);
     AddBreakdown(&t, "LR-large", ModeName(mode), r.run.slowest_task);
+    report.AddRun(std::string("LR-large/") + ModeName(mode), r.run);
   }
   for (Mode mode : {Mode::kSpark, Mode::kSparkSer, Mode::kDeca}) {
     GraphParams p;
-    p.num_vertices = 1u << 17;
-    p.num_edges = 1u << 21;
+    p.num_vertices = static_cast<uint32_t>(Scaled(1u << 17));
+    p.num_edges = static_cast<uint32_t>(Scaled(1u << 21));
     p.iterations = 4;
     p.mode = mode;
     p.spark = DefaultSpark();
@@ -68,6 +71,7 @@ int main() {
     PageRankResult r = RunPageRank(p);
     faults.Add(r.run);
     AddBreakdown(&t, "PR", ModeName(mode), r.run.slowest_task);
+    report.AddRun(std::string("PR/") + ModeName(mode), r.run);
     pr_runs.push_back(r.run);
   }
   t.Print();

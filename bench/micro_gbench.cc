@@ -7,6 +7,7 @@
 
 #include "common/random.h"
 #include "core/page.h"
+#include "obs/trace.h"
 #include "spark/shuffle.h"
 #include "workloads/lr.h"
 
@@ -297,6 +298,46 @@ void BM_KryoDeserialize(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_KryoDeserialize);
+
+/// Tracing overhead, disabled path: no recorder installed, so every hook
+/// is one thread-local load plus a branch. This is the cost every
+/// instrumented site pays when tracing is off (the default).
+void BM_TraceHookDisabled(benchmark::State& state) {
+  obs::ScopedRecorder off(nullptr);
+  for (auto _ : state) {
+    obs::Instant(obs::Cat::kMemory, "deny", 4096, 0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceHookDisabled);
+
+/// Tracing overhead, enabled path: one ring-buffer slot write per event,
+/// no allocation (the ring is preallocated at BeginWindow time).
+void BM_TraceRecordInstant(benchmark::State& state) {
+  obs::TraceRecorder rec(/*executor=*/0, 1u << 15);
+  rec.BeginWindow(0, 0, 0);
+  obs::ScopedRecorder on(&rec);
+  for (auto _ : state) {
+    obs::Instant(obs::Cat::kMemory, "deny", 4096, 0);
+  }
+  benchmark::DoNotOptimize(rec.pending());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceRecordInstant);
+
+/// Enabled span: two clock reads plus one slot write at destruction.
+void BM_TraceRecordSpan(benchmark::State& state) {
+  obs::TraceRecorder rec(/*executor=*/0, 1u << 15);
+  rec.BeginWindow(0, 0, 0);
+  obs::ScopedRecorder on(&rec);
+  for (auto _ : state) {
+    obs::ScopedSpan span(obs::Cat::kTask, "task");
+    span.set_args(1, 2);
+  }
+  benchmark::DoNotOptimize(rec.pending());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceRecordSpan);
 
 }  // namespace
 }  // namespace deca

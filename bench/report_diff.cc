@@ -1,0 +1,121 @@
+// Compares two RunReport JSON files (see src/obs/run_report.h) and exits
+// nonzero when the current report regresses from the baseline:
+//   - exact metrics (deterministic counters, byte peaks) must match
+//     bit-for-bit,
+//   - time metrics may grow by at most --time-threshold (relative) AND
+//     --time-floor-ms (absolute slack, so micro-benches don't flap),
+//   - span counts are exact, span totals follow the time rule.
+//
+// Usage:
+//   report_diff [--time-threshold=F] [--time-floor-ms=F] BASELINE CURRENT
+//   report_diff --validate REPORT
+//
+// Exit codes: 0 ok, 1 regression or schema mismatch, 2 usage/I/O error.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/run_report.h"
+
+namespace {
+
+bool ReadTextFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool LoadReport(const std::string& path, deca::obs::RunReport* report) {
+  std::string text;
+  if (!ReadTextFile(path, &text)) {
+    std::fprintf(stderr, "report_diff: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::string err;
+  if (!deca::obs::FromJson(text, report, &err)) {
+    std::fprintf(stderr, "report_diff: %s: %s\n", path.c_str(), err.c_str());
+    return false;
+  }
+  if (!deca::obs::Validate(*report, &err)) {
+    std::fprintf(stderr, "report_diff: %s: invalid report: %s\n",
+                 path.c_str(), err.c_str());
+    return false;
+  }
+  return true;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: report_diff [--time-threshold=F] [--time-floor-ms=F] "
+      "BASELINE CURRENT\n"
+      "       report_diff --validate REPORT\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  deca::obs::DiffOptions opt;
+  bool validate_only = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--validate") {
+      validate_only = true;
+    } else if (arg.rfind("--time-threshold=", 0) == 0) {
+      opt.time_threshold =
+          std::atof(arg.c_str() + std::strlen("--time-threshold="));
+    } else if (arg.rfind("--time-floor-ms=", 0) == 0) {
+      opt.time_floor_ms =
+          std::atof(arg.c_str() + std::strlen("--time-floor-ms="));
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "report_diff: unknown flag %s\n", arg.c_str());
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  if (validate_only) {
+    if (files.size() != 1) return Usage();
+    deca::obs::RunReport report;
+    // LoadReport validates after parsing; exit 1 distinguishes a bad
+    // report from usage errors only via the message, matching diff mode.
+    if (!LoadReport(files[0], &report)) return 1;
+    std::printf("%s: valid %s v%d report, bench '%s', %zu run(s)\n",
+                files[0].c_str(), deca::obs::RunReport::kSchema,
+                deca::obs::RunReport::kVersion, report.bench.c_str(),
+                report.runs.size());
+    return 0;
+  }
+
+  if (files.size() != 2) return Usage();
+  deca::obs::RunReport baseline;
+  deca::obs::RunReport current;
+  if (!LoadReport(files[0], &baseline)) return 2;
+  if (!LoadReport(files[1], &current)) return 2;
+
+  deca::obs::DiffResult result =
+      deca::obs::DiffReports(baseline, current, opt);
+  if (result.ok()) {
+    std::printf(
+        "report_diff: OK — %zu run(s) within thresholds "
+        "(time +%.0f%%, floor %.1f ms)\n",
+        baseline.runs.size(), opt.time_threshold * 100.0, opt.time_floor_ms);
+    return 0;
+  }
+  std::fprintf(stderr, "report_diff: %zu regression(s):\n",
+               result.failures.size());
+  for (const std::string& f : result.failures) {
+    std::fprintf(stderr, "  %s\n", f.c_str());
+  }
+  return 1;
+}

@@ -12,7 +12,8 @@ using namespace deca;
 using namespace deca::bench;
 using namespace deca::workloads;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("table3_gc_reduction", argc, argv);
   PrintHeader("Table 3: GC time reduction",
               "Table 3 — Spark exec/gc/ratio vs Deca gc + reduction",
               "Largest non-spilling configuration per application");
@@ -24,6 +25,8 @@ int main() {
     double reduction = spark.gc_ms > 0
                            ? 100.0 * (spark.gc_ms - deca.gc_ms) / spark.gc_ms
                            : 0.0;
+    report.AddRun(std::string(app) + "/Spark", spark);
+    report.AddRun(std::string(app) + "/Deca", deca);
     t.AddRow({app, Ms(spark.exec_ms), Ms(spark.gc_ms),
               Pct(100.0 * spark.gc_ms / spark.exec_ms), Ms(deca.exec_ms),
               Ms(deca.gc_ms), Pct(reduction)});

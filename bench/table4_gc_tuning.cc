@@ -12,7 +12,8 @@ using namespace deca;
 using namespace deca::bench;
 using namespace deca::workloads;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("table4_gc_tuning", argc, argv);
   PrintHeader("Table 4: GC tuning (memory fractions and collectors)",
               "Table 4 — storage:shuffle fractions and PS/CMS/G1",
               "LR: 640k points; PR: 1M edges; Deca rows for reference");
@@ -30,6 +31,7 @@ int main() {
     p.spark.storage_fraction = storage_fraction;
     p.spark.heap.algorithm = algo;
     LrResult r = RunLogisticRegression(p);
+    report.AddRun("LR/" + label, r.run);
     t.AddRow({"LR", label, Ms(r.run.exec_ms), Ms(r.run.gc_ms),
               Ms(r.run.concurrent_gc_ms), std::to_string(r.run.full_gcs)});
   };
@@ -44,6 +46,7 @@ int main() {
     p.spark.storage_fraction = storage_fraction;
     p.spark.heap.algorithm = algo;
     PageRankResult r = RunPageRank(p);
+    report.AddRun("PR/" + label, r.run);
     t.AddRow({"PR", label, Ms(r.run.exec_ms), Ms(r.run.gc_ms),
               Ms(r.run.concurrent_gc_ms), std::to_string(r.run.full_gcs)});
   };

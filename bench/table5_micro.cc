@@ -13,7 +13,8 @@ using namespace deca;
 using namespace deca::bench;
 using namespace deca::workloads;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("table5_micro", argc, argv);
   PrintHeader("Table 5: single-executor microbenchmark",
               "Table 5 — LR/PR x {small, large} heap x 3 systems",
               "One executor, one partition; heap sizes bracket the "
@@ -31,6 +32,8 @@ int main() {
       p.spark.partitions_per_executor = 1;
       p.spark.storage_fraction = 0.9;
       LrResult r = RunLogisticRegression(p);
+      report.AddRun("LR/" + std::to_string(heap_mb) + "MB/" + ModeName(mode),
+                    r.run);
       t.AddRow({"LR", std::to_string(heap_mb) + "MB", ModeName(mode),
                 Ms(r.run.exec_ms), Ms(r.run.gc_ms),
                 std::to_string(r.run.full_gcs), Ms(r.run.deser_ms)});
@@ -48,6 +51,8 @@ int main() {
       p.spark.partitions_per_executor = 1;
       p.spark.storage_fraction = 0.4;
       PageRankResult r = RunPageRank(p);
+      report.AddRun("PR/" + std::to_string(heap_mb) + "MB/" + ModeName(mode),
+                    r.run);
       t.AddRow({"PR", std::to_string(heap_mb) + "MB", ModeName(mode),
                 Ms(r.run.exec_ms), Ms(r.run.gc_ms),
                 std::to_string(r.run.full_gcs), Ms(r.run.deser_ms)});

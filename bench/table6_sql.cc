@@ -13,7 +13,8 @@ using namespace deca;
 using namespace deca::bench;
 using namespace deca::workloads;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("table6_sql", argc, argv);
   PrintHeader("Table 6: exploratory SQL queries",
               "Table 6 — Q1 (filter) and Q2 (GroupBy-SUM) x 3 systems",
               "Scaled: rankings 400k rows, uservisits 1.2M rows");
@@ -30,6 +31,7 @@ int main() {
     p.spark = DefaultSpark(128);
     p.spark.storage_fraction = 0.9;
     SqlResult r = RunSqlQueries(p);
+    report.AddRun(SqlEngineName(engine), r.run);
     t.AddRow({"Q1", SqlEngineName(engine), Ms(r.q1_exec_ms), Ms(r.q1_gc_ms),
               Mb(r.cached_mb),
               std::to_string(r.q1_matches) + " rows"});

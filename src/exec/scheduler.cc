@@ -6,6 +6,7 @@
 #include "common/clock.h"
 #include "common/logging.h"
 #include "exec/stage_barrier.h"
+#include "obs/trace.h"
 
 namespace deca::exec {
 
@@ -31,7 +32,12 @@ std::thread::id TaskScheduler::MutatorThreadId(int executor) const {
 void TaskScheduler::RunStage(int num_partitions, const StageTask& task,
                              const char* stage_name) {
   if (!parallel()) {
-    for (int p = 0; p < num_partitions; ++p) task(p, /*queue_ms=*/0.0);
+    for (int p = 0; p < num_partitions; ++p) {
+      // Recorded on the driver recorder in both modes, before the task
+      // body runs, so the dispatch sequence is mode-independent.
+      obs::Instant(obs::Cat::kSched, "dispatch", p, ExecutorOfPartition(p));
+      task(p, /*queue_ms=*/0.0);
+    }
     return;
   }
   StageBarrier barrier(num_partitions);
@@ -42,6 +48,7 @@ void TaskScheduler::RunStage(int num_partitions, const StageTask& task,
       static_cast<size_t>(num_partitions));
   for (int p = 0; p < num_partitions; ++p) {
     int w = WorkerOfExecutor(ExecutorOfPartition(p));
+    obs::Instant(obs::Cat::kSched, "dispatch", p, ExecutorOfPartition(p));
     Stopwatch queued;
     workers_[static_cast<size_t>(w)]->queue()->Push(
         [&task, &barrier, &errors, p, queued] {

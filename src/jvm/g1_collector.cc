@@ -6,6 +6,7 @@
 #include "common/clock.h"
 #include "common/logging.h"
 #include "jvm/heap.h"
+#include "obs/trace.h"
 
 namespace deca::jvm {
 
@@ -284,7 +285,12 @@ void G1Collector::YoungGc() {
   EvacuateCollectionSet(/*is_mixed=*/false);
   GcStats& st = heap_->mutable_stats();
   st.minor_count += 1;
-  st.minor_pause_ms += sw.ElapsedMillis();
+  double pause_ms = sw.ElapsedMillis();
+  st.minor_pause_ms += pause_ms;
+  if (auto* rec = obs::Current()) {
+    rec->CompleteSpanMs(obs::Cat::kGc, "minor_pause", pause_ms,
+                        static_cast<double>(st.minor_count));
+  }
   if (mixed_backoff_ > 0) --mixed_backoff_;
 }
 
@@ -362,6 +368,15 @@ void G1Collector::MixedGc(bool aggressive) {
   st.full_count += 1;
   st.full_pause_ms += mark_ms * cfg_.concurrent_pause_share + evac_ms;
   st.concurrent_ms += mark_ms * (1.0 - cfg_.concurrent_pause_share);
+  if (auto* rec = obs::Current()) {
+    rec->CompleteSpanMs(obs::Cat::kGc, "mixed_pause",
+                        mark_ms * cfg_.concurrent_pause_share + evac_ms,
+                        static_cast<double>(st.full_count),
+                        static_cast<double>(regions_reclaimed));
+    rec->CompleteSpanMs(obs::Cat::kGc, "concurrent_mark",
+                        mark_ms * (1.0 - cfg_.concurrent_pause_share),
+                        static_cast<double>(st.full_count));
+  }
 
   if (regions_reclaimed * region_bytes_ <
       static_cast<size_t>(0.02 * static_cast<double>(capacity_bytes()))) {

@@ -6,6 +6,7 @@
 #include "common/clock.h"
 #include "common/logging.h"
 #include "jvm/heap.h"
+#include "obs/trace.h"
 
 namespace deca::jvm {
 
@@ -197,7 +198,13 @@ void GenCollectorBase::MinorGcImpl() {
   promoted_bytes_last_minor_ = promoted_bytes_cur_minor_;
 
   st.minor_count += 1;
-  st.minor_pause_ms += sw.ElapsedMillis();
+  double pause_ms = sw.ElapsedMillis();
+  st.minor_pause_ms += pause_ms;
+  if (auto* rec = obs::Current()) {
+    rec->CompleteSpanMs(obs::Cat::kGc, "minor_pause", pause_ms,
+                        static_cast<double>(st.minor_count),
+                        static_cast<double>(promoted_bytes_last_minor_));
+  }
 }
 
 void GenCollectorBase::EvacuateSlot(ObjRef* slot, EvacuationState* es) {
@@ -375,7 +382,13 @@ void PsCollector::CollectFull() {
   CompactAll(epoch);
   GcStats& st = heap_->mutable_stats();
   st.full_count += 1;
-  st.full_pause_ms += sw.ElapsedMillis();
+  double pause_ms = sw.ElapsedMillis();
+  st.full_pause_ms += pause_ms;
+  if (auto* rec = obs::Current()) {
+    rec->CompleteSpanMs(obs::Cat::kGc, "full_pause", pause_ms,
+                        static_cast<double>(st.full_count),
+                        static_cast<double>(old_used_bytes()));
+  }
 }
 
 // -- CMS ----------------------------------------------------------------------
@@ -502,6 +515,15 @@ void CmsCollector::CollectFull() {
   st.full_count += 1;
   st.full_pause_ms += total * cfg_.concurrent_pause_share;
   st.concurrent_ms += total * (1.0 - cfg_.concurrent_pause_share);
+  if (auto* rec = obs::Current()) {
+    rec->CompleteSpanMs(obs::Cat::kGc, "full_pause",
+                        total * cfg_.concurrent_pause_share,
+                        static_cast<double>(st.full_count),
+                        static_cast<double>(old_used_bytes()));
+    rec->CompleteSpanMs(obs::Cat::kGc, "concurrent_sweep",
+                        total * (1.0 - cfg_.concurrent_pause_share),
+                        static_cast<double>(st.full_count));
+  }
 
   // If the guarantee failed on entry, the sweep may have freed enough old
   // space to make the minor collection possible now — without this, the
@@ -526,7 +548,13 @@ bool CmsCollector::OnAllocationFailureAfterFull() {
   CompactAll(epoch);
   GcStats& st = heap_->mutable_stats();
   st.full_count += 1;
-  st.full_pause_ms += sw.ElapsedMillis();
+  double pause_ms = sw.ElapsedMillis();
+  st.full_pause_ms += pause_ms;
+  if (auto* rec = obs::Current()) {
+    rec->CompleteSpanMs(obs::Cat::kGc, "concurrent_mode_failure", pause_ms,
+                        static_cast<double>(st.full_count),
+                        static_cast<double>(old_used_bytes()));
+  }
   return true;
 }
 

@@ -7,6 +7,7 @@
 
 #include "jvm/g1_collector.h"
 #include "jvm/gen_collector.h"
+#include "obs/trace.h"
 
 namespace deca::jvm {
 
@@ -111,13 +112,18 @@ ObjRef Heap::AllocateImpl(uint32_t class_id, uint32_t length,
     // Graceful degradation: let the owner shed externally pinned memory
     // (cache eviction under pressure), then run one full collection to
     // reclaim the unpinned objects and retry the allocation once.
+    obs::Instant(obs::Cat::kGc, "oom_degrade", static_cast<double>(total));
     in_oom_handler_ = true;
     bool shed = oom_handler_(total);
     in_oom_handler_ = false;
     if (shed) {
       collector_->CollectFull();
       p = collector_->AllocateRaw(total, large);
-      if (p != nullptr) ++stats_.oom_recoveries;
+      if (p != nullptr) {
+        ++stats_.oom_recoveries;
+        obs::Instant(obs::Cat::kGc, "oom_recovered",
+                     static_cast<double>(total));
+      }
     }
   }
   if (p == nullptr) {

@@ -2,7 +2,20 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace deca::memory {
+
+namespace {
+
+/// Every denial is an instant on the denying task's trace lane; the byte
+/// amount and pool are deterministic simulation state.
+void RecordDenial(Pool pool, uint64_t bytes) {
+  obs::Instant(obs::Cat::kMemory, "deny", static_cast<double>(bytes),
+               pool == Pool::kExecution ? 0.0 : 1.0);
+}
+
+}  // namespace
 
 const char* PoolName(Pool p) {
   switch (p) {
@@ -60,6 +73,7 @@ MemoryReservation ExecutorMemoryManager::TryReserve(Pool pool,
                   : storage_used() + bytes <= storage_limit();
   if (!fits) {
     denied_.fetch_add(1, std::memory_order_relaxed);
+    RecordDenial(pool, bytes);
     return {};
   }
   AddUsed(pool, bytes, /*reserved=*/true);
@@ -70,7 +84,10 @@ MemoryReservation ExecutorMemoryManager::Reserve(Pool pool, uint64_t bytes) {
   bool fits = pool == Pool::kExecution
                   ? EnsureExecutionRoom(bytes)
                   : storage_used() + bytes <= storage_limit();
-  if (!fits) denied_.fetch_add(1, std::memory_order_relaxed);
+  if (!fits) {
+    denied_.fetch_add(1, std::memory_order_relaxed);
+    RecordDenial(pool, bytes);
+  }
   AddUsed(pool, bytes, /*reserved=*/true);
   return MemoryReservation(this, pool, bytes);
 }
@@ -78,12 +95,14 @@ MemoryReservation ExecutorMemoryManager::Reserve(Pool pool, uint64_t bytes) {
 bool ExecutorMemoryManager::TryExecutionRoom(uint64_t bytes) {
   if (EnsureExecutionRoom(bytes)) return true;
   denied_.fetch_add(1, std::memory_order_relaxed);
+  RecordDenial(Pool::kExecution, bytes);
   return false;
 }
 
 void ExecutorMemoryManager::ChargePages(Pool pool, uint64_t bytes) {
   if (pool == Pool::kExecution && !EnsureExecutionRoom(bytes)) {
     denied_.fetch_add(1, std::memory_order_relaxed);
+    RecordDenial(pool, bytes);
   }
   AddUsed(pool, bytes, /*reserved=*/false);
 }

@@ -1,0 +1,71 @@
+#include "obs/chrome_trace.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace deca::obs {
+
+namespace {
+
+/// Chrome lane of an event: driver 0; executor e mutator 1+2e, GC 2+2e.
+int LaneOf(const TraceEvent& ev) {
+  if (ev.executor < 0) return 0;
+  return 1 + 2 * ev.executor + (ev.cat == Cat::kGc ? 1 : 0);
+}
+
+void WriteThreadName(std::FILE* f, int tid, const std::string& name,
+                     bool* first) {
+  std::fprintf(f,
+               "%s  {\"ph\": \"M\", \"pid\": 0, \"tid\": %d, "
+               "\"name\": \"thread_name\", \"args\": {\"name\": \"%s\"}}",
+               *first ? "\n" : ",\n", tid, name.c_str());
+  *first = false;
+}
+
+}  // namespace
+
+bool WriteChromeTrace(const TraceLog& log, const std::string& path,
+                      std::string* err) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    if (err != nullptr) *err = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  std::fprintf(f, "{\"traceEvents\": [");
+  bool first = true;
+  WriteThreadName(f, 0, "driver", &first);
+  for (int e = 0; e < log.num_executors; ++e) {
+    WriteThreadName(f, 1 + 2 * e, "executor " + std::to_string(e), &first);
+    WriteThreadName(f, 2 + 2 * e, "executor " + std::to_string(e) + " gc",
+                    &first);
+  }
+  for (const TraceEvent& ev : log.events) {
+    double ts_us = static_cast<double>(ev.start_ns - log.base_ns) / 1e3;
+    std::fprintf(f, "%s  {\"name\": \"%s\", \"cat\": \"%s\", ",
+                 first ? "\n" : ",\n", JsonEscape(ev.name).c_str(),
+                 CatName(ev.cat));
+    first = false;
+    if (ev.instant()) {
+      std::fprintf(f, "\"ph\": \"i\", \"s\": \"t\", \"ts\": %s, ",
+                   JsonNumber(ts_us).c_str());
+    } else {
+      double dur_us = static_cast<double>(ev.dur_ns) / 1e3;
+      std::fprintf(f, "\"ph\": \"X\", \"ts\": %s, \"dur\": %s, ",
+                   JsonNumber(ts_us).c_str(), JsonNumber(dur_us).c_str());
+    }
+    std::fprintf(f,
+                 "\"pid\": 0, \"tid\": %d, \"args\": {\"stage\": %d, "
+                 "\"partition\": %d, \"attempt\": %d, \"arg0\": %s, "
+                 "\"arg1\": %s, \"time_arg\": %s}}",
+                 LaneOf(ev), ev.stage, ev.partition, ev.attempt,
+                 JsonNumber(ev.arg0).c_str(), JsonNumber(ev.arg1).c_str(),
+                 JsonNumber(ev.time_arg).c_str());
+  }
+  std::fprintf(f, "\n]}\n");
+  bool ok = std::fclose(f) == 0;
+  if (!ok && err != nullptr) *err = "write to '" + path + "' failed";
+  return ok;
+}
+
+}  // namespace deca::obs

@@ -1,0 +1,21 @@
+#ifndef DECA_OBS_CHROME_TRACE_H_
+#define DECA_OBS_CHROME_TRACE_H_
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace deca::obs {
+
+/// Writes `log` as Chrome trace_event JSON (the format chrome://tracing
+/// and Perfetto open directly). Lane layout: tid 0 is the driver, each
+/// executor e gets a mutator lane (tid 1+2e) and a GC lane (tid 2+2e) so
+/// stop-the-world pauses are visually separable from task work.
+/// Timestamps are microseconds relative to the tracer's construction.
+/// Returns false and fills `err` on I/O failure.
+bool WriteChromeTrace(const TraceLog& log, const std::string& path,
+                      std::string* err);
+
+}  // namespace deca::obs
+
+#endif  // DECA_OBS_CHROME_TRACE_H_

@@ -1,0 +1,46 @@
+#ifndef DECA_OBS_JSON_H_
+#define DECA_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace deca::obs {
+
+/// Minimal JSON document tree — just enough for RunReport round-trips and
+/// report_diff. Numbers are doubles printed with %.17g, so every value the
+/// writer emits parses back bit-identically.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;  // insertion order
+
+  bool is(Type t) const { return type == t; }
+  /// First member named `key`, or null when absent / not an object.
+  const JsonValue* Find(std::string_view key) const;
+  /// Typed lookups with defaults (missing / wrong type returns `def`).
+  double Num(std::string_view key, double def = 0) const;
+  std::string Str(std::string_view key, std::string_view def = "") const;
+  bool Bool(std::string_view key, bool def = false) const;
+};
+
+/// Parses `text` into `out`. On failure returns false and describes the
+/// error (with byte offset) in `err`.
+bool ParseJson(std::string_view text, JsonValue* out, std::string* err);
+
+/// Escapes a string for embedding inside JSON quotes.
+std::string JsonEscape(std::string_view s);
+
+/// Shortest round-trippable representation of `v` (%.17g; non-finite
+/// values become null, which the report layer rejects at validation).
+std::string JsonNumber(double v);
+
+}  // namespace deca::obs
+
+#endif  // DECA_OBS_JSON_H_

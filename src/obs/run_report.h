@@ -1,0 +1,85 @@
+#ifndef DECA_OBS_RUN_REPORT_H_
+#define DECA_OBS_RUN_REPORT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace deca::obs {
+
+/// One named measurement. `exact` partitions the diff rules:
+///  - exact metrics are deterministic simulation counters (GC counts,
+///    spills, denials, byte peaks) and must match a baseline bit-for-bit;
+///  - inexact metrics are wall times and are compared against a relative
+///    regression threshold only.
+struct ReportMetric {
+  std::string name;
+  double value = 0;
+  bool exact = false;
+};
+
+/// One workload run (one mode / configuration) inside a bench binary.
+struct ReportRun {
+  std::string label;  // e.g. "LR-large/Deca"
+  std::vector<ReportMetric> metrics;
+  std::vector<SpanAgg> spans;  // per-(cat,name) trace aggregates
+
+  const ReportMetric* Find(std::string_view name) const;
+  void Add(std::string_view name, double value, bool exact);
+};
+
+/// The machine-readable result of one bench binary execution
+/// (`--json-out=` / `DECA_JSON_OUT`). Schema "deca-run-report" v1.
+struct RunReport {
+  static constexpr const char* kSchema = "deca-run-report";
+  static constexpr int kVersion = 1;
+
+  std::string bench;  // binary name, e.g. "fig11_breakdown"
+  std::vector<ReportRun> runs;
+
+  const ReportRun* Find(std::string_view label) const;
+};
+
+/// Serializes with enough float precision that FromJson(ToJson(r)) == r.
+std::string ToJson(const RunReport& report);
+
+/// Parses a report; false + `err` on malformed input or schema mismatch.
+bool FromJson(std::string_view json, RunReport* out, std::string* err);
+
+/// Structural schema check: schema/version match, non-empty bench,
+/// unique non-empty run labels, finite metric values, sane span aggs.
+bool Validate(const RunReport& report, std::string* err);
+
+/// Deep equality (used by the exporter round-trip test).
+bool ReportsEqual(const RunReport& a, const RunReport& b);
+
+struct DiffOptions {
+  /// Inexact (time) metrics fail when
+  ///   current > baseline * (1 + time_threshold)
+  /// and the absolute regression exceeds `time_floor_ms` (noise guard for
+  /// sub-millisecond measurements).
+  double time_threshold = 0.15;
+  double time_floor_ms = 1.0;
+  /// Exact metrics compare with this relative epsilon (doubles that went
+  /// through decimal text).
+  double exact_rel_eps = 1e-9;
+};
+
+struct DiffResult {
+  std::vector<std::string> failures;
+  bool ok() const { return failures.empty(); }
+};
+
+/// Compares `current` against `baseline`. Exact metrics and span counts
+/// must match; time metrics and span totals gate on the relative
+/// threshold (regressions only — improvements always pass). A run or
+/// metric present in the baseline but missing from `current` fails; extra
+/// runs/metrics in `current` are allowed (reports may grow).
+DiffResult DiffReports(const RunReport& baseline, const RunReport& current,
+                       const DiffOptions& opt);
+
+}  // namespace deca::obs
+
+#endif  // DECA_OBS_RUN_REPORT_H_

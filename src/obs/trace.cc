@@ -1,0 +1,123 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "common/logging.h"
+
+namespace deca::obs {
+
+const char* CatName(Cat c) {
+  switch (c) {
+    case Cat::kStage:
+      return "stage";
+    case Cat::kSched:
+      return "sched";
+    case Cat::kTask:
+      return "task";
+    case Cat::kGc:
+      return "gc";
+    case Cat::kShuffle:
+      return "shuffle";
+    case Cat::kCache:
+      return "cache";
+    case Cat::kMemory:
+      return "memory";
+  }
+  return "?";
+}
+
+bool CanonicalLess(const TraceEvent& a, const TraceEvent& b) {
+  return std::tie(a.stage, a.partition, a.attempt, a.seq) <
+         std::tie(b.stage, b.partition, b.attempt, b.seq);
+}
+
+bool SameContent(const TraceEvent& a, const TraceEvent& b) {
+  return a.stage == b.stage && a.partition == b.partition &&
+         a.attempt == b.attempt && a.seq == b.seq && a.cat == b.cat &&
+         a.executor == b.executor && a.arg0 == b.arg0 && a.arg1 == b.arg1 &&
+         std::strncmp(a.name, b.name, TraceEvent::kNameBytes) == 0;
+}
+
+TraceRecorder::TraceRecorder(int executor, uint32_t capacity)
+    : ring_(capacity), executor_(executor) {
+  DECA_CHECK_GT(capacity, 0u);
+}
+
+void TraceRecorder::Drain(std::vector<TraceEvent>* out) {
+  for (uint64_t i = tail_; i != head_; ++i) {
+    out->push_back(ring_[i % ring_.size()]);
+  }
+  tail_ = head_;
+}
+
+namespace {
+thread_local TraceRecorder* t_current = nullptr;
+}  // namespace
+
+TraceRecorder* Current() { return t_current; }
+
+ScopedRecorder::ScopedRecorder(TraceRecorder* r) : prev_(t_current) {
+  t_current = r;
+}
+
+ScopedRecorder::~ScopedRecorder() { t_current = prev_; }
+
+std::vector<SpanAgg> TraceLog::Aggregate() const {
+  std::map<std::pair<std::string, std::string>, SpanAgg> by_key;
+  for (const TraceEvent& ev : events) {
+    SpanAgg& agg = by_key[{CatName(ev.cat), ev.name}];
+    if (agg.count == 0) {
+      agg.cat = CatName(ev.cat);
+      agg.name = ev.name;
+    }
+    agg.count += 1;
+    if (!ev.instant()) agg.total_ms += static_cast<double>(ev.dur_ns) / 1e6;
+  }
+  std::vector<SpanAgg> out;
+  out.reserve(by_key.size());
+  for (auto& [key, agg] : by_key) out.push_back(std::move(agg));
+  return out;
+}
+
+Tracer::Tracer(int num_executors, uint32_t ring_capacity) {
+  if (ring_capacity == 0) return;
+  recorders_.reserve(static_cast<size_t>(num_executors) + 1);
+  recorders_.push_back(
+      std::make_unique<TraceRecorder>(/*executor=*/-1, ring_capacity));
+  for (int e = 0; e < num_executors; ++e) {
+    recorders_.push_back(std::make_unique<TraceRecorder>(e, ring_capacity));
+  }
+  log_ = std::make_shared<TraceLog>();
+  log_->base_ns = NowNanos();
+  log_->num_executors = num_executors;
+}
+
+void Tracer::MergeBarrier() {
+  if (!enabled()) return;
+  scratch_.clear();
+  for (auto& r : recorders_) r->Drain(&scratch_);
+  // Stable: equal keys (possible only for repeated lineage replays of one
+  // partition) keep their deterministic per-recorder drain order.
+  std::stable_sort(scratch_.begin(), scratch_.end(), CanonicalLess);
+  log_->events.insert(log_->events.end(), scratch_.begin(), scratch_.end());
+}
+
+std::shared_ptr<TraceLog> Tracer::Take() {
+  if (!enabled()) return nullptr;
+  MergeBarrier();
+  // Recorder drop counters are cumulative; each taken log reports only the
+  // drops that happened since the previous hand-off.
+  uint64_t dropped_total = 0;
+  for (auto& r : recorders_) dropped_total += r->dropped_events();
+  log_->dropped_events = dropped_total - dropped_reported_;
+  dropped_reported_ = dropped_total;
+  std::shared_ptr<TraceLog> out = std::move(log_);
+  log_ = std::make_shared<TraceLog>();
+  log_->base_ns = NowNanos();
+  log_->num_executors = out->num_executors;
+  return out;
+}
+
+}  // namespace deca::obs

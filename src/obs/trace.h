@@ -1,0 +1,279 @@
+#ifndef DECA_OBS_TRACE_H_
+#define DECA_OBS_TRACE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace deca::obs {
+
+/// Trace-event categories. Each category maps to one conceptual plane of
+/// the engine; the Chrome exporter uses them to pick lanes (GC events get
+/// their own lane per executor).
+enum class Cat : uint8_t {
+  kStage,    // driver-side stage windows
+  kSched,    // scheduler dispatch decisions
+  kTask,     // task lifecycle (queue wait, attempts, retries)
+  kGc,       // stop-the-world pauses + concurrent cycles, per phase
+  kShuffle,  // map-side deposits, reduce-side fetches
+  kCache,    // block store puts/swaps/evictions
+  kMemory,   // unified memory-manager grants/denials/borrow arbitration
+};
+
+const char* CatName(Cat c);
+
+/// One fixed-size trace record. Events are PODs so recording never
+/// allocates: the name is copied into an inline buffer and everything else
+/// is scalar.
+///
+/// Determinism contract: `start_ns`, `dur_ns` and `time_arg` are wall-time
+/// *data* — they ride along for humans and the Chrome exporter but are
+/// excluded from report content. Everything else (identity, category,
+/// name, arg0/arg1) must be a pure function of the deterministic
+/// simulation state, so the canonical event sequence of a parallel run is
+/// byte-identical to the sequential one.
+struct TraceEvent {
+  static constexpr size_t kNameBytes = 32;
+
+  char name[kNameBytes] = {0};
+  int64_t start_ns = 0;  // wall time (data only)
+  int64_t dur_ns = -1;   // < 0 marks an instant event (data only)
+  double arg0 = 0;       // deterministic payload (bytes, counts, ids)
+  double arg1 = 0;       // deterministic payload
+  double time_arg = 0;   // wall-time payload (e.g. queue_ms; data only)
+  int32_t stage = -1;     // -1: outside any stage
+  int32_t partition = -1; // -1: driver-side
+  int32_t attempt = -1;   // -1: driver-side or lineage replay
+  int32_t executor = -1;  // -1: driver lane
+  uint32_t seq = 0;       // per-(task|stage-window) sequence number
+  Cat cat = Cat::kTask;
+
+  bool instant() const { return dur_ns < 0; }
+  void set_name(const char* n) {
+    std::strncpy(name, n, kNameBytes - 1);
+    name[kNameBytes - 1] = '\0';
+  }
+};
+
+/// Canonical content ordering: (stage, partition, attempt, seq). Exactly
+/// one recorder writes any given (stage, partition, attempt) window, and
+/// seq increments per record, so the key is unique within a barrier batch
+/// and identical across sequential/parallel runs.
+bool CanonicalLess(const TraceEvent& a, const TraceEvent& b);
+
+/// True when two events carry the same deterministic content (everything
+/// except the wall-time fields).
+bool SameContent(const TraceEvent& a, const TraceEvent& b);
+
+/// Single-writer ring buffer of trace events for one executor (or the
+/// driver). Recording is wait-free and allocation-free: the ring is
+/// preallocated and a full ring overwrites the oldest event, counting it
+/// in `dropped_events` instead of corrupting anything. The driver drains
+/// the ring at stage barriers, when the writer is quiescent.
+class TraceRecorder {
+ public:
+  /// `executor` is the lane id (-1 = driver). `capacity` is the max
+  /// buffered events between drains; must be > 0.
+  TraceRecorder(int executor, uint32_t capacity);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  int executor() const { return executor_; }
+
+  /// Rebinds the identity stamped onto subsequent events and resets the
+  /// per-window sequence counter. Called at task start (stage, partition,
+  /// attempt) and at stage start for the driver (stage, -1, -1).
+  void BeginWindow(int32_t stage, int32_t partition, int32_t attempt) {
+    stage_ = stage;
+    partition_ = partition;
+    attempt_ = attempt;
+    seq_ = 0;
+  }
+
+  /// Records one event. `dur_ns < 0` means instant. Never allocates.
+  void Record(Cat cat, const char* name, int64_t start_ns, int64_t dur_ns,
+              double arg0 = 0, double arg1 = 0, double time_arg = 0) {
+    TraceEvent& ev = ring_[head_ % ring_.size()];
+    if (head_ - tail_ == ring_.size()) {  // full: drop the oldest
+      ++tail_;
+      ++dropped_;
+    }
+    ev.set_name(name);
+    ev.start_ns = start_ns;
+    ev.dur_ns = dur_ns;
+    ev.arg0 = arg0;
+    ev.arg1 = arg1;
+    ev.time_arg = time_arg;
+    ev.stage = stage_;
+    ev.partition = partition_;
+    ev.attempt = attempt_;
+    ev.executor = executor_;
+    ev.seq = seq_++;
+    ev.cat = cat;
+    ++head_;
+  }
+
+  /// Records a completed span that ended just now and lasted `dur_ms`.
+  void CompleteSpanMs(Cat cat, const char* name, double dur_ms,
+                      double arg0 = 0, double arg1 = 0) {
+    int64_t dur_ns = static_cast<int64_t>(dur_ms * 1e6);
+    Record(cat, name, NowNanos() - dur_ns, dur_ns, arg0, arg1);
+  }
+
+  /// Moves all buffered events (oldest first) into `out`; the buffer is
+  /// empty afterwards. Driver-side, writer quiescent.
+  void Drain(std::vector<TraceEvent>* out);
+
+  /// Events overwritten before they could be drained (cumulative).
+  uint64_t dropped_events() const { return dropped_; }
+  /// Events currently buffered.
+  uint64_t pending() const { return head_ - tail_; }
+
+ private:
+  std::vector<TraceEvent> ring_;
+  uint64_t head_ = 0;  // total events recorded
+  uint64_t tail_ = 0;  // oldest still-buffered event
+  uint64_t dropped_ = 0;
+  int executor_;
+  int32_t stage_ = -1;
+  int32_t partition_ = -1;
+  int32_t attempt_ = -1;
+  uint32_t seq_ = 0;
+};
+
+// -- Thread-local current recorder --------------------------------------------
+//
+// Instrumentation points (collectors, shuffle, block store, memory
+// manager) record through the calling thread's current recorder, so no
+// recorder pointer plumbing is needed and a disabled tracer costs one TLS
+// load + branch on every hook — no allocation, no clock read.
+
+/// The calling thread's active recorder (null = tracing off on this
+/// thread).
+TraceRecorder* Current();
+
+/// Installs `r` as the thread's recorder for the scope; restores the
+/// previous one on exit (scopes nest: driver window -> task window).
+class ScopedRecorder {
+ public:
+  explicit ScopedRecorder(TraceRecorder* r);
+  ~ScopedRecorder();
+
+  ScopedRecorder(const ScopedRecorder&) = delete;
+  ScopedRecorder& operator=(const ScopedRecorder&) = delete;
+
+ private:
+  TraceRecorder* prev_;
+};
+
+/// Records an instant event on the current recorder, if any.
+inline void Instant(Cat cat, const char* name, double arg0 = 0,
+                    double arg1 = 0) {
+  if (TraceRecorder* r = Current()) {
+    r->Record(cat, name, NowNanos(), /*dur_ns=*/-1, arg0, arg1);
+  }
+}
+
+/// RAII span: captures the current recorder and start time on entry and
+/// records a complete event on exit. A null current recorder makes every
+/// member a no-op (not even a clock read).
+class ScopedSpan {
+ public:
+  ScopedSpan(Cat cat, const char* name, double arg0 = 0, double arg1 = 0)
+      : r_(Current()),
+        name_(name),
+        t0_(r_ != nullptr ? NowNanos() : 0),
+        arg0_(arg0),
+        arg1_(arg1),
+        cat_(cat) {}
+  ~ScopedSpan() {
+    if (r_ != nullptr) {
+      r_->Record(cat_, name_, t0_, NowNanos() - t0_, arg0_, arg1_, time_arg_);
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void set_args(double arg0, double arg1) {
+    arg0_ = arg0;
+    arg1_ = arg1;
+  }
+  void set_time_arg(double v) { time_arg_ = v; }
+
+ private:
+  TraceRecorder* r_;
+  const char* name_;
+  int64_t t0_;
+  double arg0_;
+  double arg1_;
+  double time_arg_ = 0;
+  Cat cat_;
+};
+
+// -- Merged log ---------------------------------------------------------------
+
+/// Aggregate of one (category, name) span/event population.
+struct SpanAgg {
+  std::string cat;
+  std::string name;
+  uint64_t count = 0;
+  double total_ms = 0;  // instants contribute 0
+};
+
+/// The merged, canonically ordered trace of one SparkContext run.
+struct TraceLog {
+  int64_t base_ns = 0;  // tracer construction time (Chrome ts origin)
+  int num_executors = 0;
+  uint64_t dropped_events = 0;
+  std::vector<TraceEvent> events;
+
+  /// Per-(category, name) counts and total span time, sorted by
+  /// (category, name). Counts are deterministic; total_ms is wall time.
+  std::vector<SpanAgg> Aggregate() const;
+};
+
+/// Per-context trace plane: one recorder per executor plus a driver
+/// recorder. The driver merges all recorders at every stage barrier —
+/// stable-sorted by the canonical key, so the accumulated log's *content*
+/// is identical between sequential and parallel runs while wall times ride
+/// along as data. Construct with capacity 0 to disable: recorders are
+/// never created and every accessor returns null.
+class Tracer {
+ public:
+  Tracer(int num_executors, uint32_t ring_capacity);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return !recorders_.empty(); }
+  TraceRecorder* driver() {
+    return enabled() ? recorders_[0].get() : nullptr;
+  }
+  TraceRecorder* executor(int e) {
+    return enabled() ? recorders_[static_cast<size_t>(e) + 1].get() : nullptr;
+  }
+
+  /// Drains every recorder, canonically sorts the batch and appends it to
+  /// the log. Driver-side, all writers quiescent (post stage barrier).
+  void MergeBarrier();
+
+  /// Final merge + hand-off of the accumulated log; recording continues
+  /// into a fresh log afterwards. Null when disabled.
+  std::shared_ptr<TraceLog> Take();
+
+ private:
+  std::vector<std::unique_ptr<TraceRecorder>> recorders_;  // [0]=driver
+  std::shared_ptr<TraceLog> log_;
+  std::vector<TraceEvent> scratch_;
+  uint64_t dropped_reported_ = 0;
+};
+
+}  // namespace deca::obs
+
+#endif  // DECA_OBS_TRACE_H_

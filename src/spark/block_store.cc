@@ -7,6 +7,7 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace deca::spark {
 
@@ -196,6 +197,8 @@ LoadedBlock CacheManager::Get(BlockKey key, TaskMetrics* metrics) {
   }
   // Stream the block back from its swap file (it stays on disk; Spark's
   // MEMORY_AND_DISK re-reads swapped blocks on every access).
+  obs::Instant(obs::Cat::kCache, "swap_in", static_cast<double>(e.bytes),
+               static_cast<double>(key.partition));
   std::vector<uint8_t> data;
   {
     ScopedTimerMs timer(&metrics->spill_ms);
@@ -292,6 +295,8 @@ void CacheManager::SwapOut(BlockKey key, Entry* e, TaskMetrics* metrics) {
   memory_bytes_ -= e->bytes;
   disk_bytes_ += e->bytes;
   ++swap_out_count_;
+  obs::Instant(obs::Cat::kCache, "swap_out", static_cast<double>(e->bytes),
+               static_cast<double>(key.partition));
 }
 
 void CacheManager::EnforceBudget(TaskMetrics* metrics) {
@@ -349,13 +354,20 @@ uint64_t CacheManager::EvictUnderPressure(uint64_t need_bytes) {
   // managed memory so the follow-up full collection can reclaim it.
   uint64_t evicted = EvictBytes(need_bytes);
   pressure_evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  obs::Instant(obs::Cat::kCache, "evict_pressure",
+               static_cast<double>(need_bytes),
+               static_cast<double>(evicted));
   return evicted;
 }
 
 uint64_t CacheManager::EvictForExecution(uint64_t need_bytes) {
   // Execution-pool borrowing: routine pool arbitration, so it does not
   // count toward the OOM-pressure metric.
-  return EvictBytes(need_bytes);
+  uint64_t evicted = EvictBytes(need_bytes);
+  obs::Instant(obs::Cat::kCache, "evict_exec",
+               static_cast<double>(need_bytes),
+               static_cast<double>(evicted));
+  return evicted;
 }
 
 void CacheManager::DropAllForWipe() {

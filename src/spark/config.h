@@ -74,6 +74,14 @@ struct SparkConfig {
   /// Deterministic fault injection (disabled by default).
   fault::FaultConfig fault;
 
+  /// Structured tracing (src/obs). Disabled by default: no recorders are
+  /// created and every hook is one thread-local load + branch. When
+  /// enabled, each executor (and the driver) gets a preallocated ring of
+  /// `trace_ring_capacity` events, drained at stage barriers; a full ring
+  /// overwrites the oldest event and counts it as dropped.
+  bool trace_enabled = false;
+  uint32_t trace_ring_capacity = 1u << 15;
+
   /// The unified per-executor memory budget (see executor_memory_bytes).
   size_t executor_memory() const {
     if (executor_memory_bytes != 0) return executor_memory_bytes;

@@ -48,6 +48,8 @@ std::atomic<uint64_t> g_next_context_id{0};
 SparkContext::SparkContext(const SparkConfig& config)
     : config_(config),
       scheduler_(config.num_executors, config.num_worker_threads),
+      tracer_(config.num_executors,
+              config.trace_enabled ? config.trace_ring_capacity : 0),
       injector_(config.fault, config.max_task_failures) {
   DECA_CHECK_GT(config.num_executors, 0);
   // Unique per-context spill directory so concurrent applications (or
@@ -72,12 +74,21 @@ void SparkContext::RunTaskAttempts(
     int stage, int p, int nparts,
     const std::function<void(TaskContext&)>& task, double queue_ms) {
   Executor* e = executor_for_partition(p);
+  obs::TraceRecorder* rec = tracer_.executor(e->id());
   const int max_attempts = std::max(1, config_.max_task_failures);
   for (int attempt = 0;; ++attempt) {
+    // Each attempt is one trace window: exactly this thread writes
+    // (stage, p, attempt) events, in sequential and parallel runs alike.
+    if (rec != nullptr) rec->BeginWindow(stage, p, attempt);
+    obs::ScopedRecorder trace_scope(rec);
+    obs::ScopedSpan task_span(obs::Cat::kTask, "task");
+    task_span.set_time_arg(queue_ms);
     TaskContext tc(this, e, p, nparts);
     tc.metrics().queue_ms = queue_ms;
     double gc0 = e->heap()->stats().TotalPauseMs();
     uint64_t denied0 = e->memory()->denied_reservations();
+    uint64_t gcs0 =
+        e->heap()->stats().minor_count + e->heap()->stats().full_count;
     Stopwatch sw;
     try {
       injector_.OnTaskAttempt(stage, p, attempt, e->heap());
@@ -90,6 +101,7 @@ void SparkContext::RunTaskAttempts(
       if (attempt + 1 >= max_attempts) throw;
       DECA_LOG(Warning) << "retrying task: " << f.what();
       task_retries_.fetch_add(1, std::memory_order_relaxed);
+      obs::Instant(obs::Cat::kTask, "retry", attempt);
       continue;
     } catch (const jvm::OutOfMemoryError& oom) {
       e->heap()->ForceAllocationFailures(0);
@@ -100,6 +112,7 @@ void SparkContext::RunTaskAttempts(
                         << ", partition " << p << ", attempt " << attempt
                         << "): " << oom.what();
       task_retries_.fetch_add(1, std::memory_order_relaxed);
+      obs::Instant(obs::Cat::kTask, "retry", attempt);
       continue;
     }
     tc.metrics().total_ms = sw.ElapsedMillis();
@@ -111,6 +124,10 @@ void SparkContext::RunTaskAttempts(
     tc.metrics().storage_pool_peak_bytes = mm->storage_peak();
     tc.metrics().borrowed_bytes = mm->borrowed_peak();
     tc.metrics().denied_reservations = mm->denied_reservations() - denied0;
+    task_span.set_args(
+        static_cast<double>(e->heap()->stats().minor_count +
+                            e->heap()->stats().full_count - gcs0),
+        static_cast<double>(tc.metrics().denied_reservations));
     sink_.Report(p, tc.metrics());
     return;
   }
@@ -119,35 +136,47 @@ void SparkContext::RunTaskAttempts(
 void SparkContext::RunStageInternal(
     const std::string& name, const std::function<void(TaskContext&)>& task) {
   const int stage = next_stage_id_++;
-  int wipe = injector_.CrashWipeBefore(stage);
-  if (wipe >= 0 && wipe < num_executors()) WipeExecutor(wipe);
-  RecoverLostState();
-  Stopwatch stage_sw;
-  const int nparts = num_partitions();
-  sink_.BeginStage(nparts);
+  // Driver trace window for this stage: dispatch instants, wipe/recovery
+  // bookkeeping and the stage span all land on the driver lane.
+  obs::TraceRecorder* drec = tracer_.driver();
+  if (drec != nullptr) drec->BeginWindow(stage, -1, -1);
+  obs::ScopedRecorder driver_scope(drec);
   {
-    ScopedHeapOwnership ownership(&executors_, &scheduler_);
-    scheduler_.RunStage(
-        nparts,
-        [&](int p, double queue_ms) {
-          RunTaskAttempts(stage, p, nparts, task, queue_ms);
-        },
-        name.c_str());
+    obs::ScopedSpan stage_span(obs::Cat::kStage, name.c_str(),
+                               num_partitions(), num_executors());
+    int wipe = injector_.CrashWipeBefore(stage);
+    if (wipe >= 0 && wipe < num_executors()) WipeExecutor(wipe);
+    RecoverLostState(stage);
+    Stopwatch stage_sw;
+    const int nparts = num_partitions();
+    sink_.BeginStage(nparts);
+    {
+      ScopedHeapOwnership ownership(&executors_, &scheduler_);
+      scheduler_.RunStage(
+          nparts,
+          [&](int p, double queue_ms) {
+            RunTaskAttempts(stage, p, nparts, task, queue_ms);
+          },
+          name.c_str());
+    }
+    // Post-barrier: fold task metrics in partition order (deterministic
+    // regardless of completion order).
+    sink_.EndStage(&metrics_);
+    metrics_.wall_ms += stage_sw.ElapsedMillis();
+    metrics_.task_retries += task_retries_.exchange(0);
+    metrics_.injected_faults += injector_.TakeFired();
+    metrics_.recomputed_blocks += recomputed_blocks_.exchange(0);
+    metrics_.exec_pool_peak_bytes = TotalExecPoolPeakBytes();
+    metrics_.storage_pool_peak_bytes = TotalStoragePoolPeakBytes();
+    metrics_.borrowed_bytes = TotalBorrowedBytes();
+    metrics_.denied_reservations = TotalDeniedReservations();
+    // Every byte must be charged to exactly one manager — checked at every
+    // stage barrier, in sequential and parallel runs alike.
+    for (auto& e : executors_) e->VerifyMemoryAccounting();
   }
-  // Post-barrier: fold task metrics in partition order (deterministic
-  // regardless of completion order).
-  sink_.EndStage(&metrics_);
-  metrics_.wall_ms += stage_sw.ElapsedMillis();
-  metrics_.task_retries += task_retries_.exchange(0);
-  metrics_.injected_faults += injector_.TakeFired();
-  metrics_.recomputed_blocks += recomputed_blocks_.exchange(0);
-  metrics_.exec_pool_peak_bytes = TotalExecPoolPeakBytes();
-  metrics_.storage_pool_peak_bytes = TotalStoragePoolPeakBytes();
-  metrics_.borrowed_bytes = TotalBorrowedBytes();
-  metrics_.denied_reservations = TotalDeniedReservations();
-  // Every byte must be charged to exactly one manager — checked at every
-  // stage barrier, in sequential and parallel runs alike.
-  for (auto& e : executors_) e->VerifyMemoryAccounting();
+  // All writers are quiescent past the barrier: fold this stage's events
+  // into the canonical log (content-identical across execution modes).
+  tracer_.MergeBarrier();
 }
 
 void SparkContext::RunStage(const std::string& name,
@@ -200,9 +229,10 @@ void SparkContext::WipeExecutor(int e) {
     }
   }
   ++metrics_.executor_wipes;
+  obs::Instant(obs::Cat::kSched, "wipe", e);
 }
 
-void SparkContext::RecoverLostState() {
+void SparkContext::RecoverLostState(int stage) {
   bool any = false;
   for (const auto& rs : replay_stages_) {
     if (!rs.lost.empty()) any = true;
@@ -221,6 +251,13 @@ void SparkContext::RecoverLostState() {
         [&](int p, double) {
           if (rs.lost.count(p) == 0) return;
           Executor* e = executor_for_partition(p);
+          // Replay windows carry attempt = -1: they belong to the
+          // upcoming stage's trace but are distinguishable from its
+          // regular task attempts.
+          obs::TraceRecorder* rec = tracer_.executor(e->id());
+          if (rec != nullptr) rec->BeginWindow(stage, p, -1);
+          obs::ScopedRecorder trace_scope(rec);
+          obs::ScopedSpan span(obs::Cat::kTask, "recover");
           TaskContext tc(this, e, p, nparts);
           rs.fn(tc);
         },

@@ -12,6 +12,7 @@
 #include "exec/scheduler.h"
 #include "fault/fault_injector.h"
 #include "jvm/class_registry.h"
+#include "obs/trace.h"
 #include "spark/executor.h"
 #include "spark/metrics.h"
 #include "spark/shuffle.h"
@@ -137,6 +138,13 @@ class SparkContext {
   /// Resets accumulated job metrics (e.g. after warmup).
   void ResetMetrics();
 
+  /// The structured-trace plane (disabled unless config.trace_enabled).
+  obs::Tracer* tracer() { return &tracer_; }
+  /// Final merge + hand-off of the accumulated trace log (null when
+  /// tracing is disabled). The context keeps recording afterwards into a
+  /// fresh log, so benches can take one log per measured run.
+  std::shared_ptr<obs::TraceLog> TakeTraceLog() { return tracer_.Take(); }
+
   /// Sum of GC pause time across executors so far.
   double TotalGcPauseMs() const;
   double TotalConcurrentGcMs() const;
@@ -176,13 +184,16 @@ class SparkContext {
                        double queue_ms);
   void RunStageInternal(const std::string& name,
                         const std::function<void(TaskContext&)>& task);
-  /// Replays lineage/map stages for partitions lost to a wipe.
-  void RecoverLostState();
+  /// Replays lineage/map stages for partitions lost to a wipe. `stage` is
+  /// the id of the upcoming stage; replay trace windows are attributed to
+  /// it with attempt = -1.
+  void RecoverLostState(int stage);
 
   SparkConfig config_;
   jvm::ClassRegistry registry_;
   std::vector<std::unique_ptr<Executor>> executors_;
   exec::TaskScheduler scheduler_;
+  obs::Tracer tracer_;
   exec::MetricsSink sink_;
   ShuffleService shuffle_;
   JobMetrics metrics_;

@@ -8,6 +8,7 @@
 #include "common/clock.h"
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace deca::spark {
 
@@ -32,6 +33,9 @@ int ShuffleService::RegisterShuffle(int num_reducers) {
 void ShuffleService::PutChunk(int shuffle_id, int reducer, int map_partition,
                               std::vector<uint8_t> bytes) {
   if (bytes.empty()) return;
+  obs::Instant(obs::Cat::kShuffle, "shuffle_put",
+               static_cast<double>(bytes.size()),
+               static_cast<double>(reducer));
   ReducerBucket& b = *Find(shuffle_id)->buckets[static_cast<size_t>(reducer)];
   std::lock_guard<std::mutex> lock(b.mu);
   // Keep chunks sorted by map partition id so the reducer reads them in
@@ -65,7 +69,12 @@ void ShuffleService::DropMapOutput(int shuffle_id, int map_partition) {
 
 const std::vector<std::vector<uint8_t>>& ShuffleService::GetChunks(
     int shuffle_id, int reducer) const {
-  return Find(shuffle_id)->buckets[static_cast<size_t>(reducer)]->chunks;
+  const auto& chunks =
+      Find(shuffle_id)->buckets[static_cast<size_t>(reducer)]->chunks;
+  obs::Instant(obs::Cat::kShuffle, "shuffle_fetch",
+               static_cast<double>(chunks.size()),
+               static_cast<double>(reducer));
+  return chunks;
 }
 
 int ShuffleService::num_reducers(int shuffle_id) const {

@@ -55,6 +55,7 @@ void FinalizeResult(spark::SparkContext* ctx, RunResult* result) {
   result->oom_recoveries = ctx->TotalOomRecoveries();
   result->denied_reservations = ctx->TotalDeniedReservations();
   result->executor_memory = ctx->ExecutorMemorySnapshots();
+  result->trace = ctx->TakeTraceLog();
 }
 
 }  // namespace deca::workloads

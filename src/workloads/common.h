@@ -2,11 +2,13 @@
 #define DECA_WORKLOADS_COMMON_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/histogram.h"
 #include "memory/memory_manager.h"
+#include "obs/trace.h"
 #include "spark/context.h"
 
 namespace deca::workloads {
@@ -62,6 +64,9 @@ struct RunResult {
   // and cumulative GC ms sampled over run time.
   TimeSeries object_counts;
   TimeSeries gc_series;
+
+  // Merged structured trace of the run (null unless tracing was enabled).
+  std::shared_ptr<obs::TraceLog> trace;
 };
 
 /// Fills the GC/cache/metric fields of `result` from a finished context.

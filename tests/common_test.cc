@@ -134,7 +134,9 @@ TEST(StopwatchTest, PauseExcludesTime) {
   int64_t t0 = sw.ElapsedNanos();
   // Busy-wait a little while stopped.
   volatile uint64_t x = 0;
-  for (int i = 0; i < 1000000; ++i) x += i;
+  for (int i = 0; i < 1000000; ++i) {
+    x = x + static_cast<uint64_t>(i);
+  }
   EXPECT_EQ(sw.ElapsedNanos(), t0);
   sw.Start();
   EXPECT_GE(sw.ElapsedNanos(), t0);

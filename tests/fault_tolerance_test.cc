@@ -71,7 +71,9 @@ TEST(FaultInjectorTest, DecisionsAreDeterministicPerSeed) {
         if (da != Decision(&other, s, p, at)) ++differs;
         if (da != 0) ++fired;
         // The last allowed attempt always runs clean.
-        if (at == 3) EXPECT_EQ(da, 0);
+        if (at == 3) {
+          EXPECT_EQ(da, 0);
+        }
       }
     }
   }
