@@ -32,6 +32,10 @@ inline uint64_t EnvU64(const char* name, uint64_t def) {
   const char* e = std::getenv(name);
   return e != nullptr ? std::strtoull(e, nullptr, 10) : def;
 }
+inline std::string EnvStr(const char* name, const std::string& def) {
+  const char* e = std::getenv(name);
+  return e != nullptr ? std::string(e) : def;
+}
 
 /// Uniform workload down-scale divisor (DECA_SCALE, default 1). CI's
 /// bench-smoke job sets it so the figure benches finish in seconds; the
@@ -59,10 +63,11 @@ inline void PrintEffectiveConfigOnce(const spark::SparkConfig& cfg) {
   printed = true;
   std::printf(
       "config: executors=%d threads=%d heap=%zuMB executor_memory=%zuMB "
-      "storage_fraction=%.2f page=%uKB\n",
+      "storage_fraction=%.2f page=%uKB transport=%s\n",
       cfg.num_executors, cfg.num_worker_threads, cfg.heap.heap_bytes >> 20,
       cfg.executor_memory() >> 20, cfg.storage_fraction,
-      cfg.deca_page_bytes >> 10);
+      cfg.deca_page_bytes >> 10,
+      spark::ShuffleTransportName(cfg.shuffle_transport));
 }
 
 /// Default executor sizing used across the reproduction benches: two
@@ -86,6 +91,13 @@ inline void PrintEffectiveConfigOnce(const spark::SparkConfig& cfg) {
 ///   DECA_FAULT_OOM_PROB=P    per-attempt forced allocation-failure prob.
 ///   DECA_CRASH_WIPE_STAGE=N / DECA_CRASH_WIPE_EXECUTOR=E
 ///                            crash-wipe executor E before stage N
+///
+/// Shuffle transport seam (src/net; results are bit-identical to local):
+///   DECA_SHUFFLE_TRANSPORT=local|network|loopback|tcp
+///                            "network" is an alias for "loopback", the
+///                            deterministic in-process wire (default local)
+///   DECA_NET_LATENCY_US=N    simulated per-message latency, virtual time
+///   DECA_NET_BANDWIDTH_MBPS=N simulated wire bandwidth (0 = infinite)
 inline spark::SparkConfig DefaultSpark(size_t heap_mb = 64) {
   spark::SparkConfig cfg;
   cfg.partitions_per_executor = 2;
@@ -109,6 +121,19 @@ inline spark::SparkConfig DefaultSpark(size_t heap_mb = 64) {
       static_cast<size_t>(EnvU64("DECA_EXECUTOR_MEMORY", 0)) << 20;
   cfg.storage_fraction =
       EnvDouble("DECA_STORAGE_FRACTION", cfg.storage_fraction);
+  std::string transport = EnvStr("DECA_SHUFFLE_TRANSPORT", "local");
+  if (transport == "network" || transport == "loopback") {
+    cfg.shuffle_transport = spark::ShuffleTransport::kLoopback;
+  } else if (transport == "tcp") {
+    cfg.shuffle_transport = spark::ShuffleTransport::kTcp;
+  } else if (transport != "local") {
+    std::fprintf(stderr,
+                 "unknown DECA_SHUFFLE_TRANSPORT '%s', using local\n",
+                 transport.c_str());
+  }
+  cfg.net_latency_us = EnvU64("DECA_NET_LATENCY_US", cfg.net_latency_us);
+  cfg.net_bandwidth_mbps =
+      EnvU64("DECA_NET_BANDWIDTH_MBPS", cfg.net_bandwidth_mbps);
   cfg.spill_dir = "/tmp/deca_bench_spill";
   // Structured tracing: on when a report/trace file was requested
   // (BenchReport) or forced via DECA_TRACE=1. Off by default — the task
@@ -212,6 +237,28 @@ class BenchReport {
     time("slowest.compute_ms", r.slowest_task.compute_ms());
     time("slowest.gc_ms", r.slowest_task.gc_ms);
     time("slowest.queue_ms", r.slowest_task.queue_ms);
+    if (r.net_active) {
+      // Wire plane, present only under a network shuffle transport. New
+      // metrics on the current side are "extra" to report_diff, so these
+      // runs still diff cleanly against local-shuffle baselines.
+      exact("net.wire_bytes", static_cast<double>(r.net.wire_bytes));
+      exact("net.payload_bytes", static_cast<double>(r.net.payload_bytes));
+      exact("net.messages", static_cast<double>(r.net.messages));
+      exact("net.index_requests", static_cast<double>(r.net.index_requests));
+      exact("net.slice_requests", static_cast<double>(r.net.slice_requests));
+      exact("net.records_encoded",
+            static_cast<double>(r.net.records_encoded));
+      exact("net.records_decoded",
+            static_cast<double>(r.net.records_decoded));
+      exact("net.fetch_retries", static_cast<double>(r.net.fetch_retries));
+      exact("net.injected_fetch_failures",
+            static_cast<double>(r.net.injected_fetch_failures));
+      exact("net.flow_stalls", static_cast<double>(r.net.flow_stalls));
+      exact("net.virtual_wire_us",
+            static_cast<double>(r.net.virtual_wire_us));
+      time("net.encode_ms", r.net.encode_ms);
+      time("net.decode_ms", r.net.decode_ms);
+    }
     if (r.trace != nullptr) {
       exact("trace.dropped_events",
             static_cast<double>(r.trace->dropped_events));

@@ -20,6 +20,12 @@ int main(int argc, char** argv) {
   RunResult last_spark, last_deca;
   TablePrinter t({"keys", "words", "Spark exec(ms)", "Spark gc(ms)",
                   "Deca exec(ms)", "Deca gc(ms)", "reduction", "speedup"});
+  // Wire-codec ablation (network transport only): the same Deca payload
+  // shipped as zero-copy pages vs per-record serialized frames.
+  bool net = DefaultSpark().shuffle_transport != spark::ShuffleTransport::kLocal;
+  TablePrinter wire({"keys", "words", "page wire(KB)", "record wire(KB)",
+                     "page rec enc", "record rec enc", "page enc(ms)",
+                     "record enc(ms)"});
   for (uint64_t keys : {Scaled(20'000), Scaled(200'000)}) {
     for (uint64_t words :
          {Scaled(1'000'000), Scaled(2'000'000), Scaled(3'000'000)}) {
@@ -39,6 +45,23 @@ int main(int argc, char** argv) {
           std::to_string(keys) + "k/" + std::to_string(words) + "w";
       report.AddRun(cell + "/Spark", spark.run);
       report.AddRun(cell + "/Deca", deca.run);
+      if (net) {
+        // Same workload, same payload bytes — only the wire codec
+        // changes. Page mode must ship fewer bytes and encode zero
+        // records (the paper's serialization-elimination claim).
+        p.spark.shuffle_wire_codec = spark::ShuffleWireCodec::kRecord;
+        WordCountResult rec = RunWordCount(p);
+        p.spark.shuffle_wire_codec = spark::ShuffleWireCodec::kAuto;
+        faults.Add(rec.run);
+        report.AddRun(cell + "/Deca-wire-record", rec.run);
+        wire.AddRow(
+            {std::to_string(keys), std::to_string(words),
+             Mb(static_cast<double>(deca.run.net.wire_bytes) / 1024.0),
+             Mb(static_cast<double>(rec.run.net.wire_bytes) / 1024.0),
+             std::to_string(deca.run.net.records_encoded),
+             std::to_string(rec.run.net.records_encoded),
+             Ms(deca.run.net.encode_ms), Ms(rec.run.net.encode_ms)});
+      }
       t.AddRow({std::to_string(keys), std::to_string(words),
                 Ms(spark.run.exec_ms), Ms(spark.run.gc_ms),
                 Ms(deca.run.exec_ms), Ms(deca.run.gc_ms),
@@ -48,6 +71,10 @@ int main(int argc, char** argv) {
     }
   }
   t.Print();
+  if (net) {
+    std::printf("\nWire codec ablation (Deca payload, page vs record):\n");
+    wire.Print();
+  }
   PrintExecutorMemory(last_spark);
   PrintExecutorMemory(last_deca);
   faults.PrintIfAny();

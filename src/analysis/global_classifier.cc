@@ -69,11 +69,21 @@ bool GlobalClassifier::RRefine(const UdtType* t) const {
   return true;
 }
 
+// GCC at -O3 inlines Classify into this wrapper and then falsely reports
+// `classifier` maybe-uninitialized (its only member is a pointer set in
+// the constructor) — a reachability false positive.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
 SizeType PhasedRefinement::ClassifyInPhase(const UdtType* t,
                                            size_t phase) const {
   GlobalClassifier classifier(phase_graphs_[phase]);
   return classifier.Classify(t);
 }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 std::vector<SizeType> PhasedRefinement::ClassifyAllPhases(
     const UdtType* t) const {

@@ -43,6 +43,11 @@ void FaultInjector::OnTaskAttempt(int stage, int partition, int attempt,
   }
   if (Fire(0xfe7cULL, stage, partition, attempt, config_.fetch_failure_prob)) {
     fired_.fetch_add(1, std::memory_order_relaxed);
+    if (fetch_path_ != nullptr) {
+      // Network shuffle: the doomed fetch exercises the wire (probe +
+      // retries) and throws the same ShuffleFetchFailure from in there.
+      fetch_path_->FailFetch(stage, partition, attempt);
+    }
     throw ShuffleFetchFailure(stage, partition, attempt);
   }
   if (Fire(0x00a1ULL, stage, partition, attempt, config_.oom_failure_prob)) {

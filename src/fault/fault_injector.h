@@ -10,6 +10,20 @@
 
 namespace deca::fault {
 
+/// Optional detour for injected shuffle-fetch failures: when installed
+/// (the network shuffle service), the doomed fetch travels the transport
+/// path — probe request, refusals, retries with virtual backoff — before
+/// the injector's ShuffleFetchFailure surfaces. The decision to fail and
+/// the exception thrown stay the injector's, so fault counts and retry
+/// schedules are bit-identical with or without a network transport.
+class FetchFailurePath {
+ public:
+  virtual ~FetchFailurePath() = default;
+  /// Must throw ShuffleFetchFailure(stage, partition, attempt) after
+  /// exercising the transport path. Must not touch any executor heap.
+  virtual void FailFetch(int stage, int partition, int attempt) = 0;
+};
+
 /// Fires the faults described by a FaultConfig. Every decision is a pure
 /// hash of (seed, kind, stage, partition, attempt), so a plan replays
 /// identically whether tasks run sequentially on the driver or on the
@@ -41,6 +55,10 @@ class FaultInjector {
   /// Drains the count of faults fired since the last call (thread-safe).
   uint64_t TakeFired() { return fired_.exchange(0, std::memory_order_relaxed); }
 
+  /// Routes injected fetch failures through `path` (not owned; may be
+  /// null to restore the direct throw). Set before any task runs.
+  void set_fetch_failure_path(FetchFailurePath* path) { fetch_path_ = path; }
+
  private:
   bool Fire(uint64_t kind_salt, int stage, int partition, int attempt,
             double prob) const;
@@ -48,6 +66,7 @@ class FaultInjector {
   FaultConfig config_;
   int max_attempts_;
   std::atomic<uint64_t> fired_{0};
+  FetchFailurePath* fetch_path_ = nullptr;
 };
 
 }  // namespace deca::fault

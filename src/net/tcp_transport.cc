@@ -1,0 +1,221 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/bytes.h"
+
+namespace deca::net {
+
+namespace {
+
+bool WriteAll(int fd, const uint8_t* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool ReadAll(int fd, uint8_t* data, size_t size) {
+  size_t got = 0;
+  while (got < size) {
+    ssize_t n = ::recv(fd, data + got, size - got, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    got += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Reads one varint-framed message (header + body) off the socket into
+/// `wire`, preserving the exact on-wire bytes. Returns false on EOF or a
+/// malformed header.
+bool ReadFramed(int fd, std::vector<uint8_t>* wire) {
+  wire->clear();
+  uint64_t len = 0;
+  int shift = 0;
+  while (true) {
+    uint8_t byte;
+    if (!ReadAll(fd, &byte, 1)) return false;
+    wire->push_back(byte);
+    len |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    if (shift > 63) return false;
+  }
+  if (len > (64u << 20)) return false;  // sanity cap: 64 MB per message
+  size_t header = wire->size();
+  wire->resize(header + len);
+  return ReadAll(fd, wire->data() + header, len);
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(int num_endpoints, NetStats* stats)
+    : num_endpoints_(num_endpoints), stats_(stats) {
+  endpoints_.reserve(static_cast<size_t>(num_endpoints));
+  for (int i = 0; i < num_endpoints; ++i) {
+    auto ep = std::make_unique<Endpoint>();
+    ep->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (ep->listen_fd < 0) throw std::runtime_error("tcp: socket() failed");
+    int one = 1;
+    ::setsockopt(ep->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;  // ephemeral
+    if (::bind(ep->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(ep->listen_fd, 64) != 0) {
+      throw std::runtime_error("tcp: bind/listen failed");
+    }
+    socklen_t addr_len = sizeof(addr);
+    ::getsockname(ep->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                  &addr_len);
+    ep->port = ntohs(addr.sin_port);
+    endpoints_.push_back(std::move(ep));
+  }
+}
+
+TcpTransport::~TcpTransport() {
+  // Phase 1: shutdown() every socket so blocked accept()/recv() calls
+  // return and the threads exit. No fd is closed yet — closing a
+  // descriptor another thread is blocked on races with the syscall (and
+  // the number could be reused mid-call), so close waits for the joins.
+  for (auto& ep : endpoints_) {
+    if (ep->listen_fd >= 0) ::shutdown(ep->listen_fd, SHUT_RDWR);
+    std::lock_guard<std::mutex> lock(ep->conn_mu);
+    for (int fd : ep->conn_fds) ::shutdown(fd, SHUT_RDWR);
+  }
+  {
+    std::lock_guard<std::mutex> lock(clients_mu_);
+    for (auto& [key, conn] : clients_) {
+      std::lock_guard<std::mutex> conn_lock(conn->mu);
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  // Phase 2: join every thread, then close its sockets.
+  for (auto& ep : endpoints_) {
+    if (ep->accept_thread.joinable()) ep->accept_thread.join();
+    if (ep->listen_fd >= 0) {
+      ::close(ep->listen_fd);
+      ep->listen_fd = -1;
+    }
+    std::vector<std::thread> threads;
+    std::vector<int> fds;
+    {
+      std::lock_guard<std::mutex> lock(ep->conn_mu);
+      threads.swap(ep->conn_threads);
+      fds.swap(ep->conn_fds);
+    }
+    for (auto& t : threads) {
+      if (t.joinable()) t.join();
+    }
+    for (int fd : fds) ::close(fd);
+  }
+  {
+    std::lock_guard<std::mutex> lock(clients_mu_);
+    for (auto& [key, conn] : clients_) {
+      std::lock_guard<std::mutex> conn_lock(conn->mu);
+      if (conn->fd >= 0) {
+        ::close(conn->fd);
+        conn->fd = -1;
+      }
+    }
+  }
+}
+
+void TcpTransport::Bind(int endpoint, MessageHandler handler) {
+  Endpoint* ep = endpoints_[static_cast<size_t>(endpoint)].get();
+  ep->handler = std::move(handler);
+  int listen_fd = ep->listen_fd;
+  ep->accept_thread =
+      std::thread([this, ep, listen_fd] { AcceptLoop(ep, listen_fd); });
+}
+
+void TcpTransport::AcceptLoop(Endpoint* ep, int listen_fd) {
+  while (true) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket closed: shutting down
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(ep->conn_mu);
+    ep->conn_fds.push_back(fd);
+    ep->conn_threads.emplace_back(
+        [this, ep, fd] { ServeConnection(ep, fd); });
+  }
+}
+
+void TcpTransport::ServeConnection(Endpoint* ep, int fd) {
+  std::vector<uint8_t> request;
+  while (ReadFramed(fd, &request)) {
+    std::vector<uint8_t> response = ep->handler(request);
+    if (!WriteAll(fd, response.data(), response.size())) break;
+  }
+}
+
+int TcpTransport::ConnectTo(int to) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("tcp: socket() failed");
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(endpoints_[static_cast<size_t>(to)]->port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("tcp: connect() failed");
+  }
+  return fd;
+}
+
+std::vector<uint8_t> TcpTransport::Call(int from, int to,
+                                        const std::vector<uint8_t>& request) {
+  ClientConn* conn;
+  {
+    std::lock_guard<std::mutex> lock(clients_mu_);
+    auto& slot = clients_[{from, to}];
+    if (!slot) slot = std::make_unique<ClientConn>();
+    conn = slot.get();
+  }
+  std::lock_guard<std::mutex> lock(conn->mu);
+  if (conn->fd < 0) conn->fd = ConnectTo(to);
+  std::vector<uint8_t> response;
+  if (!WriteAll(conn->fd, request.data(), request.size()) ||
+      !ReadFramed(conn->fd, &response)) {
+    ::close(conn->fd);
+    conn->fd = -1;
+    throw std::runtime_error("tcp: call failed (peer closed connection)");
+  }
+  if (stats_ != nullptr) {
+    stats_->messages.fetch_add(1, std::memory_order_relaxed);
+    stats_->wire_bytes.fetch_add(request.size() + response.size(),
+                                 std::memory_order_relaxed);
+  }
+  return response;
+}
+
+uint16_t TcpTransport::port(int endpoint) const {
+  return endpoints_[static_cast<size_t>(endpoint)]->port;
+}
+
+}  // namespace deca::net

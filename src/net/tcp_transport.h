@@ -1,0 +1,72 @@
+#ifndef DECA_NET_TCP_TRANSPORT_H_
+#define DECA_NET_TCP_TRANSPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/net_stats.h"
+#include "net/transport.h"
+
+namespace deca::net {
+
+/// Real-socket transport for manual runs: every endpoint listens on a
+/// 127.0.0.1 ephemeral port, an accept thread per endpoint spawns one
+/// serving thread per inbound connection, and each (from, to) link keeps
+/// one cached client connection whose mutex provides the contract's FIFO
+/// ordering. Frames on the socket are varint length + body — the same
+/// bytes FrameMessage produces, sent verbatim.
+///
+/// Determinism note: the bytes and counters match loopback exactly; only
+/// wall time differs. Tier-1 tests use loopback, TCP is covered by a
+/// small smoke test.
+class TcpTransport : public Transport {
+ public:
+  /// Binds `num_endpoints` listen sockets immediately; throws
+  /// std::runtime_error on socket failure.
+  TcpTransport(int num_endpoints, NetStats* stats);
+  ~TcpTransport() override;
+
+  void Bind(int endpoint, MessageHandler handler) override;
+  std::vector<uint8_t> Call(int from, int to,
+                            const std::vector<uint8_t>& request) override;
+  int num_endpoints() const override { return num_endpoints_; }
+
+  /// The ephemeral port endpoint `endpoint` listens on (for tests).
+  uint16_t port(int endpoint) const;
+
+ private:
+  struct Endpoint {
+    int listen_fd = -1;
+    uint16_t port = 0;
+    MessageHandler handler;
+    std::thread accept_thread;
+    std::mutex conn_mu;
+    std::vector<std::thread> conn_threads;
+    std::vector<int> conn_fds;
+  };
+  struct ClientConn {
+    std::mutex mu;
+    int fd = -1;
+  };
+
+  /// `listen_fd` is the thread's own copy: the destructor overwrites
+  /// ep->listen_fd while this loop may still be running, so the member
+  /// must not be re-read here.
+  void AcceptLoop(Endpoint* ep, int listen_fd);
+  void ServeConnection(Endpoint* ep, int fd);
+  int ConnectTo(int to);
+
+  int num_endpoints_;
+  NetStats* stats_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::mutex clients_mu_;
+  std::map<std::pair<int, int>, std::unique_ptr<ClientConn>> clients_;
+};
+
+}  // namespace deca::net
+
+#endif  // DECA_NET_TCP_TRANSPORT_H_

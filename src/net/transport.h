@@ -1,0 +1,44 @@
+#ifndef DECA_NET_TRANSPORT_H_
+#define DECA_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace deca::net {
+
+/// Serves one endpoint's requests: takes a framed request message and
+/// returns the framed response message. Handlers must be thread-safe —
+/// calls can arrive concurrently from different client endpoints.
+using MessageHandler =
+    std::function<std::vector<uint8_t>(const std::vector<uint8_t>& request)>;
+
+/// Pluggable synchronous message transport between numbered endpoints
+/// (one per executor). Implementations move the exact framed bytes
+/// produced by FrameMessage, so wire byte accounting is
+/// transport-independent.
+///
+/// Ordering contract: messages between one (from, to) endpoint pair are
+/// FIFO — a later Call on the same link cannot overtake an earlier one.
+/// Calls on distinct links may interleave freely.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Installs `handler` as endpoint `endpoint`'s server. Must be called
+  /// for every endpoint before the first Call targeting it; not
+  /// thread-safe against in-flight Calls.
+  virtual void Bind(int endpoint, MessageHandler handler) = 0;
+
+  /// Sends `request` from endpoint `from` to endpoint `to` and blocks for
+  /// the response. Thread-safe. Both buffers are complete framed
+  /// messages.
+  virtual std::vector<uint8_t> Call(int from, int to,
+                                    const std::vector<uint8_t>& request) = 0;
+
+  virtual int num_endpoints() const = 0;
+};
+
+}  // namespace deca::net
+
+#endif  // DECA_NET_TRANSPORT_H_

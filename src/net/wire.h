@@ -1,0 +1,94 @@
+#ifndef DECA_NET_WIRE_H_
+#define DECA_NET_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "net/net_stats.h"
+
+namespace deca::net {
+
+// -- Message framing ----------------------------------------------------------
+//
+// Everything that crosses a Transport is one *message*: a LEB128 varint
+// byte length followed by that many body bytes. The first body byte is the
+// message type; the rest is type-specific, encoded with the same
+// ByteWriter/ByteReader primitives the rest of the codebase uses.
+// Both transports (loopback and TCP) move exactly these bytes, so wire
+// byte counts are identical across them.
+
+enum class MsgType : uint8_t {
+  kIndexRequest = 1,   // shuffle_id, reducer -> kIndexResponse
+  kIndexResponse = 2,  // n x (map_partition, frame_bytes)
+  kFetchRequest = 3,   // shuffle_id, reducer, map_partition, offset, max
+  kFetchResponse = 4,  // status, frame_bytes_total, slice bytes
+  kFailProbe = 5,      // stage, partition, attempt -> kErrorResponse
+  kErrorResponse = 6,  // status
+};
+
+/// Status byte of kFetchResponse / kErrorResponse.
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kInjectedFailure = 2,  // the deterministic fault injector's doing
+};
+
+/// Prepends the varint length header to `body`, producing one on-wire
+/// message.
+std::vector<uint8_t> FrameMessage(const ByteWriter& body);
+
+/// Splits one on-wire message into its body span. Returns false if the
+/// buffer is truncated or the header disagrees with the buffer size.
+bool UnframeMessage(const std::vector<uint8_t>& wire, ByteReader* body);
+
+// -- Shuffle chunk wire codecs ------------------------------------------------
+//
+// A map task's per-reducer chunk is encoded once at deposit time into a
+// *frame* that later travels to the reducer in slices. Two codecs
+// reproduce the trade-off the paper frames ("GC or serialization?"):
+//
+//   kPage    Deca mode. The chunk's decomposed page bytes ship as-is
+//            behind a 6-byte-ish header: no per-record work at either
+//            end (records_encoded stays 0, encode time is one memcpy).
+//   kRecord  JVM mode (Kryo-like). Every record is framed with its own
+//            varint length and copied individually, mirroring a
+//            per-record serializer's costs: wire bytes grow by one
+//            length varint per record and encode/decode walk each
+//            record.
+//
+// Both codecs decode back to the byte-exact original chunk, so results
+// are bit-identical to the local (no-wire) shuffle no matter the codec.
+
+enum class WireCodec : uint8_t {
+  kPage = 0,
+  kRecord = 1,
+};
+
+const char* WireCodecName(WireCodec c);
+
+/// Record-boundary metadata for a deposited chunk, used only by the
+/// kRecord codec. Either `fixed_record_bytes` is set (uniform stride —
+/// Deca's fixed-size decomposed entries) or `record_lens` lists each
+/// record's byte length in chunk order. When neither is provided the
+/// codec falls back to treating the whole chunk as one record.
+struct ChunkMeta {
+  uint32_t fixed_record_bytes = 0;
+  std::vector<uint32_t> record_lens;
+};
+
+/// Encodes `payload` into a wire frame with `codec`, updating
+/// records_encoded / encode_ns / payload_bytes in `stats`.
+std::vector<uint8_t> EncodeFrame(WireCodec codec,
+                                 const std::vector<uint8_t>& payload,
+                                 const ChunkMeta& meta, NetStats* stats);
+
+/// Decodes a reassembled frame back into the original chunk payload,
+/// updating records_decoded / decode_ns. Returns false on a malformed
+/// frame.
+bool DecodeFrame(const std::vector<uint8_t>& frame,
+                 std::vector<uint8_t>* payload, NetStats* stats);
+
+}  // namespace deca::net
+
+#endif  // DECA_NET_WIRE_H_

@@ -24,6 +24,8 @@ const char* CatName(Cat c) {
       return "cache";
     case Cat::kMemory:
       return "memory";
+    case Cat::kNet:
+      return "net";
   }
   return "?";
 }

@@ -22,6 +22,7 @@ enum class Cat : uint8_t {
   kShuffle,  // map-side deposits, reduce-side fetches
   kCache,    // block store puts/swaps/evictions
   kMemory,   // unified memory-manager grants/denials/borrow arbitration
+  kNet,      // wire transport: puts, fetch slices, retries, flow stalls
 };
 
 const char* CatName(Cat c);

@@ -23,6 +23,18 @@ const char* StorageLevelName(StorageLevel s) {
   return "?";
 }
 
+const char* ShuffleTransportName(ShuffleTransport t) {
+  switch (t) {
+    case ShuffleTransport::kLocal:
+      return "local";
+    case ShuffleTransport::kLoopback:
+      return "loopback";
+    case ShuffleTransport::kTcp:
+      return "tcp";
+  }
+  return "?";
+}
+
 namespace {
 
 void WriteFile(const std::string& path, const uint8_t* data, size_t size) {

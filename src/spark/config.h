@@ -22,6 +22,30 @@ enum class StorageLevel {
 
 const char* StorageLevelName(StorageLevel s);
 
+/// How shuffle chunks travel from map tasks to reducers.
+enum class ShuffleTransport {
+  /// Direct in-memory deposit/fetch (the original single-process path).
+  kLocal,
+  /// Framed wire messages over in-process loopback channels: real
+  /// encode/frame/fetch protocol, deterministic, optional simulated
+  /// latency/bandwidth. The default for network-mode tests and benches.
+  kLoopback,
+  /// Real TCP sockets on 127.0.0.1 (manual runs; timing not
+  /// deterministic, bytes and results still are).
+  kTcp,
+};
+
+const char* ShuffleTransportName(ShuffleTransport t);
+
+/// Wire codec for network shuffle chunks (see net::WireCodec).
+enum class ShuffleWireCodec {
+  /// Follow the workload mode: Deca runs ship pages, JVM runs ship
+  /// per-record serialized frames.
+  kAuto,
+  kPage,    // force zero-copy page transfer
+  kRecord,  // force Kryo-like per-record serialization
+};
+
 /// Engine configuration: one simulated application (driver + executors).
 struct SparkConfig {
   /// Number of simulated executors, each with its own managed heap.
@@ -60,6 +84,26 @@ struct SparkConfig {
 
   /// Size of Deca's logical memory pages.
   uint32_t deca_page_bytes = 64u << 10;
+
+  /// Shuffle transport seam (src/net). kLocal preserves the original
+  /// in-memory path bit for bit; kLoopback/kTcp route every chunk through
+  /// the framed wire protocol. Results, GC counts, and fault counters are
+  /// identical across all three.
+  ShuffleTransport shuffle_transport = ShuffleTransport::kLocal;
+  /// Chunk wire codec (network transports only).
+  ShuffleWireCodec shuffle_wire_codec = ShuffleWireCodec::kAuto;
+  /// Max bytes per fetch slice request.
+  uint32_t net_fetch_chunk_bytes = 64u << 10;
+  /// Per-reducer in-flight byte window (flow control): a fetch slice is
+  /// clamped so outstanding-but-undecoded bytes never exceed this.
+  uint32_t net_max_inflight_bytes = 256u << 10;
+  /// Transport-level retries of a failed fetch before the failure
+  /// surfaces to the task layer.
+  int net_fetch_retries = 3;
+  /// Simulated per-message wire latency (loopback only; virtual time).
+  uint64_t net_latency_us = 0;
+  /// Simulated wire bandwidth in Mbit/s, 0 = infinite (loopback only).
+  uint64_t net_bandwidth_mbps = 0;
 
   /// Directory for cache swap and shuffle spill files. Each SparkContext
   /// appends a unique per-context suffix (pid + counter) and removes its

@@ -8,6 +8,9 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "net/loopback_transport.h"
+#include "net/tcp_transport.h"
+#include "spark/network_shuffle.h"
 
 namespace deca::spark {
 
@@ -58,6 +61,27 @@ SparkContext::SparkContext(const SparkConfig& config)
                        std::to_string(g_next_context_id.fetch_add(1));
   for (int i = 0; i < config.num_executors; ++i) {
     executors_.push_back(std::make_unique<Executor>(i, config_, &registry_));
+  }
+  if (config_.shuffle_transport == ShuffleTransport::kLocal) {
+    shuffle_ = std::make_unique<LocalShuffleService>();
+  } else {
+    net_stats_ = std::make_unique<net::NetStats>();
+    if (config_.shuffle_transport == ShuffleTransport::kLoopback) {
+      net::LoopbackOptions opts;
+      opts.latency_us = config_.net_latency_us;
+      opts.bandwidth_mbps = config_.net_bandwidth_mbps;
+      transport_ = std::make_unique<net::LoopbackTransport>(
+          config_.num_executors, opts, net_stats_.get());
+    } else {
+      transport_ = std::make_unique<net::TcpTransport>(config_.num_executors,
+                                                       net_stats_.get());
+    }
+    auto service = std::make_unique<NetworkShuffleService>(
+        config_, transport_.get(), net_stats_.get());
+    // Injected fetch failures now travel the wire (doomed probe +
+    // retries) before surfacing — same decision, same exception.
+    injector_.set_fetch_failure_path(service.get());
+    shuffle_ = std::move(service);
   }
 }
 
@@ -224,7 +248,7 @@ void SparkContext::WipeExecutor(int e) {
   for (auto& rs : replay_stages_) {
     for (int p = 0; p < num_partitions(); ++p) {
       if (scheduler_.ExecutorOfPartition(p) != e) continue;
-      if (rs.shuffle_id >= 0) shuffle_.DropMapOutput(rs.shuffle_id, p);
+      if (rs.shuffle_id >= 0) shuffle_->DropMapOutput(rs.shuffle_id, p);
       rs.lost.insert(p);
     }
   }

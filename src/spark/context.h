@@ -12,6 +12,8 @@
 #include "exec/scheduler.h"
 #include "fault/fault_injector.h"
 #include "jvm/class_registry.h"
+#include "net/net_stats.h"
+#include "net/transport.h"
 #include "obs/trace.h"
 #include "spark/executor.h"
 #include "spark/metrics.h"
@@ -74,7 +76,9 @@ class SparkContext {
 
   const SparkConfig& config() const { return config_; }
   jvm::ClassRegistry* registry() { return &registry_; }
-  ShuffleService* shuffle() { return &shuffle_; }
+  ShuffleService* shuffle() { return shuffle_.get(); }
+  /// Wire-plane counters; null when shuffle_transport == kLocal.
+  const net::NetStats* net_stats() const { return net_stats_.get(); }
 
   int num_partitions() const {
     return config_.num_executors * config_.partitions_per_executor;
@@ -195,7 +199,11 @@ class SparkContext {
   exec::TaskScheduler scheduler_;
   obs::Tracer tracer_;
   exec::MetricsSink sink_;
-  ShuffleService shuffle_;
+  // The wire plane (network transports only; null under kLocal). Declared
+  // before shuffle_ so the service is destroyed before its transport.
+  std::unique_ptr<net::NetStats> net_stats_;
+  std::unique_ptr<net::Transport> transport_;
+  std::unique_ptr<ShuffleService> shuffle_;
   JobMetrics metrics_;
   fault::FaultInjector injector_;
   int next_stage_id_ = 0;

@@ -12,14 +12,14 @@
 
 namespace deca::spark {
 
-// -- ShuffleService -----------------------------------------------------------
+// -- LocalShuffleService ------------------------------------------------------
 
-ShuffleService::ShuffleData* ShuffleService::Find(int shuffle_id) const {
+LocalShuffleService::ShuffleData* LocalShuffleService::Find(int shuffle_id) const {
   std::lock_guard<std::mutex> lock(mu_);
   return &shuffles_[static_cast<size_t>(shuffle_id)];
 }
 
-int ShuffleService::RegisterShuffle(int num_reducers) {
+int LocalShuffleService::RegisterShuffle(int num_reducers) {
   std::lock_guard<std::mutex> lock(mu_);
   ShuffleData& d = shuffles_.emplace_back();
   d.num_reducers = num_reducers;
@@ -30,8 +30,11 @@ int ShuffleService::RegisterShuffle(int num_reducers) {
   return static_cast<int>(shuffles_.size() - 1);
 }
 
-void ShuffleService::PutChunk(int shuffle_id, int reducer, int map_partition,
-                              std::vector<uint8_t> bytes) {
+void LocalShuffleService::PutChunk(int shuffle_id, int reducer,
+                                   int map_partition,
+                                   std::vector<uint8_t> bytes,
+                                   const net::ChunkMeta& meta) {
+  (void)meta;  // record boundaries only matter on a wire
   if (bytes.empty()) return;
   obs::Instant(obs::Cat::kShuffle, "shuffle_put",
                static_cast<double>(bytes.size()),
@@ -54,7 +57,7 @@ void ShuffleService::PutChunk(int shuffle_id, int reducer, int map_partition,
                   std::move(bytes));
 }
 
-void ShuffleService::DropMapOutput(int shuffle_id, int map_partition) {
+void LocalShuffleService::DropMapOutput(int shuffle_id, int map_partition) {
   for (auto& bucket : Find(shuffle_id)->buckets) {
     std::lock_guard<std::mutex> lock(bucket->mu);
     auto it = std::lower_bound(bucket->mappers.begin(), bucket->mappers.end(),
@@ -67,7 +70,7 @@ void ShuffleService::DropMapOutput(int shuffle_id, int map_partition) {
   }
 }
 
-const std::vector<std::vector<uint8_t>>& ShuffleService::GetChunks(
+const std::vector<std::vector<uint8_t>>& LocalShuffleService::GetChunks(
     int shuffle_id, int reducer) const {
   const auto& chunks =
       Find(shuffle_id)->buckets[static_cast<size_t>(reducer)]->chunks;
@@ -77,11 +80,11 @@ const std::vector<std::vector<uint8_t>>& ShuffleService::GetChunks(
   return chunks;
 }
 
-int ShuffleService::num_reducers(int shuffle_id) const {
+int LocalShuffleService::num_reducers(int shuffle_id) const {
   return Find(shuffle_id)->num_reducers;
 }
 
-uint64_t ShuffleService::total_bytes(int shuffle_id) const {
+uint64_t LocalShuffleService::total_bytes(int shuffle_id) const {
   uint64_t total = 0;
   for (const auto& bucket : Find(shuffle_id)->buckets) {
     for (const auto& chunk : bucket->chunks) total += chunk.size();
@@ -89,7 +92,7 @@ uint64_t ShuffleService::total_bytes(int shuffle_id) const {
   return total;
 }
 
-void ShuffleService::Release(int shuffle_id) {
+void LocalShuffleService::Release(int shuffle_id) {
   for (auto& bucket : Find(shuffle_id)->buckets) {
     bucket->mappers.clear();
     bucket->chunks.clear();

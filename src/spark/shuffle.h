@@ -10,50 +10,88 @@
 
 #include "core/page.h"
 #include "jvm/heap.h"
+#include "net/wire.h"
 #include "spark/config.h"
 #include "spark/metrics.h"
 #include "spark/record_ops.h"
 
 namespace deca::spark {
 
-/// In-process stand-in for Spark's shuffle files + block transfer service:
-/// map tasks deposit per-reducer byte chunks; reduce tasks fetch all
-/// chunks for their partition. Chunks live in native memory (like OS page
-/// cache / disk in a real deployment), outside any executor heap.
+/// The shuffle seam: map tasks deposit per-reducer byte chunks; reduce
+/// tasks fetch all chunks for their partition. Two implementations share
+/// this interface — LocalShuffleService (direct in-memory, the original
+/// path) and NetworkShuffleService (framed wire protocol over a src/net
+/// Transport). Fetched chunks are byte-identical across implementations,
+/// so downstream results, GC histories, and fault counters never depend
+/// on which one is plugged in.
 ///
 /// Concurrency contract (the src/exec runtime): PutChunk may be called
-/// from any worker thread — writes to a reducer's bucket are serialized
-/// by a per-bucket lock, and each bucket keeps its chunks sorted by map
-/// partition id, so reduce-side iteration order (and hence the reducer's
-/// allocation/GC history) is identical no matter which map task finished
-/// first. GetChunks/total_bytes/Release are read/drain operations and
-/// must only run after the stage-end barrier, when no map task is live.
+/// from any worker thread; implementations must keep each reducer's
+/// chunk list sorted by map partition id so reduce-side iteration order
+/// (and hence the reducer's allocation/GC history) is identical no
+/// matter which map task finished first. DropMapOutput and Release are
+/// stage-barrier side only. GetChunks runs from worker threads during
+/// reduce tasks but only after the map stage's barrier.
 class ShuffleService {
  public:
+  virtual ~ShuffleService() = default;
+
   /// Registers a shuffle with `num_reducers` output partitions; returns
   /// its id.
-  int RegisterShuffle(int num_reducers);
+  virtual int RegisterShuffle(int num_reducers) = 0;
 
   /// Deposits the bytes `map_partition` produced for `reducer`. Thread
   /// safe; empty chunks are dropped. A second deposit from the same map
-  /// partition (a retried task) replaces the first.
+  /// partition (a retried task) replaces the first. `meta` describes
+  /// record boundaries for the record-serialized wire codec; the local
+  /// service ignores it.
+  virtual void PutChunk(int shuffle_id, int reducer, int map_partition,
+                        std::vector<uint8_t> bytes,
+                        const net::ChunkMeta& meta) = 0;
+
+  /// Convenience overload for callers with no record metadata.
   void PutChunk(int shuffle_id, int reducer, int map_partition,
-                std::vector<uint8_t> bytes);
+                std::vector<uint8_t> bytes) {
+    PutChunk(shuffle_id, reducer, map_partition, std::move(bytes),
+             net::ChunkMeta{});
+  }
 
   /// Drops every chunk `map_partition` deposited (simulating map-output
   /// loss when its executor crashes). Stage-barrier side only.
-  void DropMapOutput(int shuffle_id, int map_partition);
+  virtual void DropMapOutput(int shuffle_id, int map_partition) = 0;
 
   /// All chunks destined for `reducer`, ordered by map partition id.
-  /// Stage-barrier side only (driver / reduce stage).
-  const std::vector<std::vector<uint8_t>>& GetChunks(int shuffle_id,
-                                                     int reducer) const;
+  /// The reference stays valid until the next DropMapOutput/Release of
+  /// this shuffle.
+  virtual const std::vector<std::vector<uint8_t>>& GetChunks(
+      int shuffle_id, int reducer) const = 0;
 
-  int num_reducers(int shuffle_id) const;
-  uint64_t total_bytes(int shuffle_id) const;
+  virtual int num_reducers(int shuffle_id) const = 0;
+  virtual uint64_t total_bytes(int shuffle_id) const = 0;
 
   /// Frees a completed shuffle's chunks. Stage-barrier side only.
-  void Release(int shuffle_id);
+  virtual void Release(int shuffle_id) = 0;
+};
+
+/// In-process stand-in for Spark's shuffle files + block transfer service.
+/// Chunks live in native memory (like OS page cache / disk in a real
+/// deployment), outside any executor heap; fetch hands back references to
+/// the deposited bytes with no wire protocol in between.
+class LocalShuffleService final : public ShuffleService {
+ public:
+  using ShuffleService::PutChunk;
+
+  int RegisterShuffle(int num_reducers) override;
+  void PutChunk(int shuffle_id, int reducer, int map_partition,
+                std::vector<uint8_t> bytes,
+                const net::ChunkMeta& meta) override;
+  void DropMapOutput(int shuffle_id, int map_partition) override;
+  const std::vector<std::vector<uint8_t>>& GetChunks(int shuffle_id,
+                                                     int reducer) const
+      override;
+  int num_reducers(int shuffle_id) const override;
+  uint64_t total_bytes(int shuffle_id) const override;
+  void Release(int shuffle_id) override;
 
  private:
   struct ReducerBucket {

@@ -8,6 +8,7 @@
 
 #include "common/histogram.h"
 #include "memory/memory_manager.h"
+#include "net/net_stats.h"
 #include "obs/trace.h"
 #include "spark/context.h"
 
@@ -59,6 +60,11 @@ struct RunResult {
   // executor (executor-id order) for the per-executor memory table.
   uint64_t denied_reservations = 0;
   std::vector<memory::MemoryStats> executor_memory;
+
+  // Wire plane (network shuffle transports only; net_active is false and
+  // the snapshot stays zero under the local shuffle).
+  bool net_active = false;
+  net::NetStatsSnapshot net;
 
   // Optional lifetime profile (figures 8a / 9a): live tracked-object count
   // and cumulative GC ms sampled over run time.

@@ -40,6 +40,14 @@ LrTypes::LrTypes(jvm::ClassRegistry* registry, int dims)
   BuildOps();
 }
 
+// GCC at -O3 flags the aggregate Statement initializers below as
+// maybe-uninitialized through the inlined std::string members of FieldRef
+// — a known reachability false positive (every string is constructed
+// before use).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
 void LrTypes::BuildUdtModel() {
   // Annotated types (paper Figure 3).
   const auto* darr = universe_.DefineArray(
@@ -109,6 +117,9 @@ void LrTypes::BuildUdtModel() {
                                        "features.length"});
   }
 }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 jvm::ObjRef LrTypes::NewLabeledPoint(jvm::Heap* heap, double label,
                                      const double* features) const {

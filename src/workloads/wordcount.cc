@@ -108,6 +108,13 @@ WordCountResult RunWordCount(const WordCountParams& params) {
           zipf ? zipf->Next() : word_rng->NextBounded(params.distinct_keys));
     };
     std::vector<ByteWriter> outs(static_cast<size_t>(parts));
+    // Record boundaries for the network shuffle's record-serialized wire
+    // codec: Deca chunks are a uniform 16-byte stride, object chunks log
+    // each serialized pair's length. Unused under the local shuffle.
+    std::vector<net::ChunkMeta> metas(static_cast<size_t>(parts));
+    if (deca) {
+      for (auto& meta : metas) meta.fixed_record_bytes = 16;
+    }
     auto flush_deca = [&](spark::DecaHashShuffleBuffer& buf) {
       buf.ForEach([&](const uint8_t* entry) {
         uint64_t hash = types.ops.deca_key_hash(entry);
@@ -118,10 +125,16 @@ WordCountResult RunWordCount(const WordCountParams& params) {
     auto flush_object = [&](spark::ObjectHashShuffleBuffer& buf) {
       buf.ForEach([&](ObjRef k, ObjRef v) {
         uint64_t hash = types.ops.key_hash(h, k);
-        ByteWriter& w = outs[hash % static_cast<uint64_t>(parts)];
-        ScopedTimerMs t(&tc.metrics().ser_ms);
-        types.ops.serialize_key(h, k, &w);
-        types.ops.serialize_value(h, v, &w);
+        size_t r = hash % static_cast<uint64_t>(parts);
+        ByteWriter& w = outs[r];
+        size_t before = w.size();
+        {
+          ScopedTimerMs t(&tc.metrics().ser_ms);
+          types.ops.serialize_key(h, k, &w);
+          types.ops.serialize_value(h, v, &w);
+        }
+        metas[r].record_lens.push_back(
+            static_cast<uint32_t>(w.size() - before));
       });
       buf.Clear();
     };
@@ -166,7 +179,8 @@ WordCountResult RunWordCount(const WordCountParams& params) {
     ScopedTimerMs t(&tc.metrics().shuffle_write_ms);
     for (int r = 0; r < parts; ++r) {
       ctx.shuffle()->PutChunk(shuffle_id, r, tc.partition(),
-                              outs[static_cast<size_t>(r)].TakeBuffer());
+                              outs[static_cast<size_t>(r)].TakeBuffer(),
+                              metas[static_cast<size_t>(r)]);
     }
   });
 

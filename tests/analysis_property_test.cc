@@ -29,6 +29,14 @@ struct RandomTypeGen {
 
   /// depth-bounded random class; `allow_arrays` controls whether RFST
   /// parts may appear.
+  // GCC 12 falsely reports overlapping memcpy (-Wrestrict) and
+  // maybe-uninitialized strings in the inlined `"cls" + to_string(...)`
+  // operator+ chains below (gcc PR105329).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wrestrict"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
   const UdtType* Class(int depth, bool allow_arrays, bool all_final) {
     UdtType* cls =
         universe->DefineClass("cls" + std::to_string(++counter));
@@ -48,6 +56,9 @@ struct RandomTypeGen {
     }
     return cls;
   }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
   TypeUniverse* universe;
   Rng rng;

@@ -267,7 +267,7 @@ TEST(CacheSwapTest, EvictsToDiskAndStreamsBack) {
 }
 
 TEST(ShuffleServiceTest, ChunkRouting) {
-  ShuffleService svc;
+  LocalShuffleService svc;
   int id = svc.RegisterShuffle(3);
   svc.PutChunk(id, 0, /*map_partition=*/0, {1, 2, 3});
   svc.PutChunk(id, 2, /*map_partition=*/0, {4});
@@ -284,7 +284,7 @@ TEST(ShuffleServiceTest, ChunkRouting) {
 // the order map tasks deposited them (the parallel runtime's determinism
 // contract).
 TEST(ShuffleServiceTest, ChunksSortedByMapPartition) {
-  ShuffleService svc;
+  LocalShuffleService svc;
   int id = svc.RegisterShuffle(1);
   svc.PutChunk(id, 0, /*map_partition=*/3, {30});
   svc.PutChunk(id, 0, /*map_partition=*/0, {0});
@@ -298,7 +298,7 @@ TEST(ShuffleServiceTest, ChunksSortedByMapPartition) {
 }
 
 TEST(ShuffleServiceTest, ConcurrentPutChunkKeepsDeterministicOrder) {
-  ShuffleService svc;
+  LocalShuffleService svc;
   const int kMappers = 32;
   int id = svc.RegisterShuffle(2);
   std::vector<std::thread> mappers;
