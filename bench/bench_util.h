@@ -11,6 +11,7 @@
 #include "common/table_printer.h"
 #include "obs/chrome_trace.h"
 #include "obs/run_report.h"
+#include "stream/stream_context.h"
 #include "workloads/common.h"
 
 namespace deca::bench {
@@ -68,6 +69,17 @@ inline void PrintEffectiveConfigOnce(const spark::SparkConfig& cfg) {
       cfg.executor_memory() >> 20, cfg.storage_fraction,
       cfg.deca_page_bytes >> 10,
       spark::ShuffleTransportName(cfg.shuffle_transport));
+}
+
+/// Prints the effective stream plan once per process (effective-config
+/// banner companion of PrintEffectiveConfigOnce).
+inline void PrintEffectiveStreamConfigOnce(const stream::StreamOptions& o) {
+  static bool printed = false;
+  if (printed) return;
+  printed = true;
+  std::printf("stream: epochs=%d window=%d slide=%d (%s)\n", o.epochs,
+              o.window, o.effective_slide(),
+              o.effective_slide() < o.window ? "sliding" : "tumbling");
 }
 
 /// Default executor sizing used across the reproduction benches: two
@@ -143,6 +155,24 @@ inline spark::SparkConfig DefaultSpark(size_t heap_mb = 64) {
       static_cast<uint32_t>(EnvU64("DECA_TRACE_RING", 1u << 15));
   PrintEffectiveConfigOnce(cfg);
   return cfg;
+}
+
+/// Windowing plan of the stream benches, with environment overrides:
+///   DECA_STREAM_EPOCHS=N  epochs to run (default per bench)
+///   DECA_STREAM_WINDOW=N  epochs per window
+///   DECA_STREAM_SLIDE=N   window start stride (0 = tumbling)
+/// Scaling note: epochs deliberately do NOT shrink with DECA_SCALE — a
+/// steady-state drift measurement needs its epoch count; per-epoch record
+/// volume is what Scaled() shrinks.
+inline stream::StreamOptions DefaultStreamOptions(int epochs_def,
+                                                  int window_def,
+                                                  int slide_def = 0) {
+  stream::StreamOptions opts;
+  opts.epochs = EnvInt("DECA_STREAM_EPOCHS", epochs_def);
+  opts.window = EnvInt("DECA_STREAM_WINDOW", window_def);
+  opts.slide = EnvInt("DECA_STREAM_SLIDE", slide_def, /*min_value=*/0);
+  PrintEffectiveStreamConfigOnce(opts);
+  return opts;
 }
 
 /// Machine-readable run reporting for bench binaries.
@@ -259,6 +289,30 @@ class BenchReport {
       time("net.encode_ms", r.net.encode_ms);
       time("net.decode_ms", r.net.decode_ms);
     }
+    if (r.epochs_run > 0) {
+      // Streaming plane (schema v2): typed epoch aggregate plus flat
+      // metrics. Like net.*, these are "extra" against batch baselines.
+      run.epochs.present = true;
+      run.epochs.epochs_run = r.epochs_run;
+      run.epochs.windows = r.windows_emitted;
+      run.epochs.reclaimed_bytes = r.epoch_reclaimed_bytes;
+      run.epochs.pause_p50_ms = r.epoch_pause_p50_ms;
+      run.epochs.pause_p99_ms = r.epoch_pause_p99_ms;
+      run.epochs.reclaim_p99_ms = r.epoch_reclaim_p99_ms;
+      exact("epoch.epochs_run", static_cast<double>(r.epochs_run));
+      exact("epoch.windows", static_cast<double>(r.windows_emitted));
+      exact("epoch.reclaimed_bytes",
+            static_cast<double>(r.epoch_reclaimed_bytes));
+      exact("epoch.footprint_base_bytes",
+            static_cast<double>(r.footprint_base_bytes));
+      exact("epoch.footprint_end_bytes",
+            static_cast<double>(r.footprint_end_bytes));
+      exact("epoch.footprint_peak_bytes",
+            static_cast<double>(r.footprint_peak_bytes));
+      time("epoch.pause_p50_ms", r.epoch_pause_p50_ms);
+      time("epoch.pause_p99_ms", r.epoch_pause_p99_ms);
+      time("epoch.reclaim_p99_ms", r.epoch_reclaim_p99_ms);
+    }
     if (r.trace != nullptr) {
       exact("trace.dropped_events",
             static_cast<double>(r.trace->dropped_events));
@@ -266,6 +320,13 @@ class BenchReport {
       last_trace_ = r.trace;
     }
     report_.runs.push_back(std::move(run));
+  }
+
+  /// Appends one extra metric to the most recently added run — for
+  /// workload-specific values the RunResult doesn't carry (e.g. sustained
+  /// streaming throughput). No-op before the first AddRun.
+  void AddMetric(const char* name, double value, bool exact) {
+    if (!report_.runs.empty()) report_.runs.back().Add(name, value, exact);
   }
 
  private:

@@ -8,7 +8,10 @@
 #include "common/random.h"
 #include "core/page.h"
 #include "obs/trace.h"
+#include "spark/context.h"
 #include "spark/shuffle.h"
+#include "stream/epoch_region.h"
+#include "stream/stream_context.h"
 #include "workloads/lr.h"
 
 namespace deca {
@@ -324,6 +327,85 @@ void BM_TraceRecordInstant(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TraceRecordInstant);
+
+spark::SparkConfig StreamBenchConfig() {
+  spark::SparkConfig cfg;
+  cfg.num_executors = 2;
+  cfg.partitions_per_executor = 2;
+  cfg.heap.heap_bytes = 32u << 20;
+  return cfg;
+}
+
+/// Fixed cost of one streaming epoch with no data: region open, window
+/// bookkeeping, accounting re-verification and footprint sampling at the
+/// boundary, reclaim of the empty region. This is the floor every epoch
+/// pays regardless of payload — it must stay microseconds, far below any
+/// per-epoch GC pause it replaces.
+void BM_EpochOpenClose(benchmark::State& state) {
+  spark::SparkConfig cfg = StreamBenchConfig();
+  spark::SparkContext ctx(cfg);
+  stream::StreamOptions opts;
+  opts.epochs = static_cast<int>(state.range(0));
+  opts.window = 4;
+  for (auto _ : state) {
+    stream::StreamContext sc(&ctx, opts);
+    sc.RunEpochs([](int, stream::EpochRegion&) {},
+                 [](const stream::StreamWindow&) {});
+    benchmark::DoNotOptimize(sc.epochs_run());
+  }
+  state.SetItemsProcessed(state.iterations() * opts.epochs);
+  state.counters["us_per_epoch"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * opts.epochs),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_EpochOpenClose)->Arg(16)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+/// Region reclaim cost vs adopted page-group count: dropping an epoch is
+/// a handful of refcount releases + byte accounting, independent of how
+/// many records the pages hold — the paper's constant-ish-cost region
+/// free vs per-object collector work.
+void BM_EpochRegionReclaimPages(benchmark::State& state) {
+  spark::SparkConfig cfg = StreamBenchConfig();
+  spark::SparkContext ctx(cfg);
+  const int groups = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    stream::EpochRegion region(0, ctx.num_executors());
+    for (int g = 0; g < groups; ++g) {
+      jvm::Heap* h = ctx.executor(g % ctx.num_executors())->heap();
+      auto pages = std::make_shared<core::PageGroup>(h, 16u << 10);
+      for (int i = 0; i < 256; ++i) pages->Append(32);
+      region.AdoptPages(g % ctx.num_executors(), std::move(pages));
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(region.Reclaim(&ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * groups);
+}
+BENCHMARK(BM_EpochRegionReclaimPages)
+    ->Arg(4)
+    ->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Pure region bookkeeping: construct, pin/unpin (one pin per
+/// overlapping sliding window), reclaim empty. The driver-side cost of
+/// tracking an epoch's lifetime, with no data attached.
+void BM_EpochRegionBookkeeping(benchmark::State& state) {
+  spark::SparkConfig cfg = StreamBenchConfig();
+  spark::SparkContext ctx(cfg);
+  for (auto _ : state) {
+    stream::EpochRegion region(0, ctx.num_executors());
+    region.Pin();
+    region.Pin();
+    region.Pin();
+    region.Unpin();
+    region.Unpin();
+    benchmark::DoNotOptimize(region.Unpin());
+    benchmark::DoNotOptimize(region.Reclaim(&ctx));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EpochRegionBookkeeping);
 
 /// Enabled span: two clock reads plus one slot write at destruction.
 void BM_TraceRecordSpan(benchmark::State& state) {

@@ -13,7 +13,10 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build}"
 out="$repo/bench/baselines"
-benches=(fig08_wc_exec fig09_lr_exec fig11_breakdown)
+# Stream benches run the shortened CI steady state (DECA_STREAM_EPOCHS=48,
+# matching the bench-smoke job): epoch counters are bit-compared against
+# these baselines, so the epoch count must agree between the two.
+benches=(fig08_wc_exec fig09_lr_exec fig11_breakdown stream_wordcount stream_sessionize)
 
 for b in "${benches[@]}"; do
   if [[ ! -x "$build/bench/$b" ]]; then
@@ -29,6 +32,7 @@ for b in "${benches[@]}"; do
   # diffs its loopback runs against these same files (extra runs and
   # net.* metrics are allowed additions in report_diff).
   DECA_SCALE=8 DECA_TRACE=1 DECA_SHUFFLE_TRANSPORT=local \
+    DECA_STREAM_EPOCHS=48 \
     DECA_JSON_OUT="$out/$b.json" \
     "$build/bench/$b" > /dev/null
   "$build/bench/report_diff" --validate "$out/$b.json"

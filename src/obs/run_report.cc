@@ -55,7 +55,18 @@ std::string ToJson(const RunReport& report) {
              "\", \"count\": " + std::to_string(sp.count) +
              ", \"total_ms\": " + JsonNumber(sp.total_ms) + "}";
     }
-    out += "\n     ]}";
+    out += "\n     ]";
+    if (run.epochs.present) {
+      const EpochAgg& e = run.epochs;
+      out += ",\n     \"epochs\": {\"epochs_run\": " +
+             std::to_string(e.epochs_run) +
+             ", \"windows\": " + std::to_string(e.windows) +
+             ", \"reclaimed_bytes\": " + std::to_string(e.reclaimed_bytes) +
+             ", \"pause_p50_ms\": " + JsonNumber(e.pause_p50_ms) +
+             ", \"pause_p99_ms\": " + JsonNumber(e.pause_p99_ms) +
+             ", \"reclaim_p99_ms\": " + JsonNumber(e.reclaim_p99_ms) + "}";
+    }
+    out += "}";
   }
   out += "\n  ]\n}\n";
   return out;
@@ -73,7 +84,8 @@ bool FromJson(std::string_view json, RunReport* out, std::string* err) {
                                std::string(RunReport::kSchema) + "'";
     return false;
   }
-  if (static_cast<int>(root.Num("version", -1)) != RunReport::kVersion) {
+  int version = static_cast<int>(root.Num("version", -1));
+  if (version < RunReport::kMinVersion || version > RunReport::kVersion) {
     if (err != nullptr) *err = "unsupported report version";
     return false;
   }
@@ -111,6 +123,18 @@ bool FromJson(std::string_view json, RunReport* out, std::string* err) {
         s.total_ms = js.Num("total_ms");
         run.spans.push_back(std::move(s));
       }
+    }
+    if (const JsonValue* epochs = jr.Find("epochs");
+        epochs != nullptr && epochs->is(JsonValue::Type::kObject)) {
+      run.epochs.present = true;
+      run.epochs.epochs_run =
+          static_cast<uint64_t>(epochs->Num("epochs_run"));
+      run.epochs.windows = static_cast<uint64_t>(epochs->Num("windows"));
+      run.epochs.reclaimed_bytes =
+          static_cast<uint64_t>(epochs->Num("reclaimed_bytes"));
+      run.epochs.pause_p50_ms = epochs->Num("pause_p50_ms");
+      run.epochs.pause_p99_ms = epochs->Num("pause_p99_ms");
+      run.epochs.reclaim_p99_ms = epochs->Num("reclaim_p99_ms");
     }
     out->runs.push_back(std::move(run));
   }
@@ -153,6 +177,17 @@ bool Validate(const RunReport& report, std::string* err) {
                     run.label + "'");
       }
     }
+    if (run.epochs.present) {
+      const EpochAgg& e = run.epochs;
+      if (!std::isfinite(e.pause_p50_ms) || e.pause_p50_ms < 0 ||
+          !std::isfinite(e.pause_p99_ms) || e.pause_p99_ms < 0 ||
+          !std::isfinite(e.reclaim_p99_ms) || e.reclaim_p99_ms < 0) {
+        return fail("bad epoch pause aggregate in '" + run.label + "'");
+      }
+      if (e.pause_p50_ms > e.pause_p99_ms) {
+        return fail("epoch pause p50 > p99 in '" + run.label + "'");
+      }
+    }
   }
   return true;
 }
@@ -180,6 +215,16 @@ bool ReportsEqual(const RunReport& a, const RunReport& b) {
           ra.spans[s].total_ms != rb.spans[s].total_ms) {
         return false;
       }
+    }
+    const EpochAgg& ea = ra.epochs;
+    const EpochAgg& eb = rb.epochs;
+    if (ea.present != eb.present || ea.epochs_run != eb.epochs_run ||
+        ea.windows != eb.windows ||
+        ea.reclaimed_bytes != eb.reclaimed_bytes ||
+        ea.pause_p50_ms != eb.pause_p50_ms ||
+        ea.pause_p99_ms != eb.pause_p99_ms ||
+        ea.reclaim_p99_ms != eb.reclaim_p99_ms) {
+      return false;
     }
   }
   return true;
@@ -258,6 +303,38 @@ DiffResult DiffReports(const RunReport& baseline, const RunReport& current,
              "' total_ms regressed " + JsonNumber(bs.total_ms) + " -> " +
              JsonNumber(cs->total_ms));
       }
+    }
+    if (base_run.epochs.present) {
+      const EpochAgg& be = base_run.epochs;
+      const EpochAgg& ce = cur_run->epochs;
+      if (!ce.present) {
+        fail(base_run.label + ": epoch aggregates missing from current "
+             "report");
+        continue;
+      }
+      // Deterministic epoch counters: bit-compare.
+      auto counter = [&](const char* name, uint64_t bv, uint64_t cv) {
+        if (bv != cv) {
+          fail(base_run.label + ": epoch counter '" + std::string(name) +
+               "' changed " + std::to_string(bv) + " -> " +
+               std::to_string(cv));
+        }
+      };
+      counter("epochs_run", be.epochs_run, ce.epochs_run);
+      counter("windows", be.windows, ce.windows);
+      counter("reclaimed_bytes", be.reclaimed_bytes, ce.reclaimed_bytes);
+      // Pause percentiles are wall times: regression threshold only.
+      auto pause = [&](const char* name, double bv, double cv) {
+        if (cv > bv * (1.0 + opt.time_threshold) &&
+            cv - bv > opt.time_floor_ms) {
+          fail(base_run.label + ": epoch pause '" + std::string(name) +
+               "' regressed " + JsonNumber(bv) + " -> " + JsonNumber(cv) +
+               " ms");
+        }
+      };
+      pause("pause_p50_ms", be.pause_p50_ms, ce.pause_p50_ms);
+      pause("pause_p99_ms", be.pause_p99_ms, ce.pause_p99_ms);
+      pause("reclaim_p99_ms", be.reclaim_p99_ms, ce.reclaim_p99_ms);
     }
   }
   return result;

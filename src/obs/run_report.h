@@ -20,21 +20,39 @@ struct ReportMetric {
   bool exact = false;
 };
 
+/// Epoch plane of a micro-batch streaming run (schema v2). Absent
+/// (`present == false`) for batch runs. The counters are deterministic
+/// simulation results and are bit-compared by report_diff; the pause
+/// percentiles are wall times and are threshold-compared.
+struct EpochAgg {
+  bool present = false;
+  uint64_t epochs_run = 0;
+  uint64_t windows = 0;
+  uint64_t reclaimed_bytes = 0;
+  double pause_p50_ms = 0;
+  double pause_p99_ms = 0;
+  double reclaim_p99_ms = 0;
+};
+
 /// One workload run (one mode / configuration) inside a bench binary.
 struct ReportRun {
   std::string label;  // e.g. "LR-large/Deca"
   std::vector<ReportMetric> metrics;
   std::vector<SpanAgg> spans;  // per-(cat,name) trace aggregates
+  EpochAgg epochs;             // streaming runs only
 
   const ReportMetric* Find(std::string_view name) const;
   void Add(std::string_view name, double value, bool exact);
 };
 
 /// The machine-readable result of one bench binary execution
-/// (`--json-out=` / `DECA_JSON_OUT`). Schema "deca-run-report" v1.
+/// (`--json-out=` / `DECA_JSON_OUT`). Schema "deca-run-report" v2
+/// (v2 added the optional per-run "epochs" aggregate; v1 reports are
+/// still parsed).
 struct RunReport {
   static constexpr const char* kSchema = "deca-run-report";
-  static constexpr int kVersion = 1;
+  static constexpr int kVersion = 2;
+  static constexpr int kMinVersion = 1;
 
   std::string bench;  // binary name, e.g. "fig11_breakdown"
   std::vector<ReportRun> runs;

@@ -26,6 +26,8 @@ const char* CatName(Cat c) {
       return "memory";
     case Cat::kNet:
       return "net";
+    case Cat::kEpoch:
+      return "epoch";
   }
   return "?";
 }

@@ -23,6 +23,7 @@ enum class Cat : uint8_t {
   kCache,    // block store puts/swaps/evictions
   kMemory,   // unified memory-manager grants/denials/borrow arbitration
   kNet,      // wire transport: puts, fetch slices, retries, flow stalls
+  kEpoch,    // streaming epoch lifecycle: open, close, region reclaim
 };
 
 const char* CatName(Cat c);

@@ -208,22 +208,35 @@ void SparkContext::RunStage(const std::string& name,
   RunStageInternal(name, task);
 }
 
-void SparkContext::RunMapStage(const std::string& name, int shuffle_id,
-                               const std::function<void(TaskContext&)>& task) {
+int SparkContext::RunMapStage(const std::string& name, int shuffle_id,
+                              const std::function<void(TaskContext&)>& task) {
   RunStageInternal(name, task);
   ReplayStage rs;
   rs.name = name;
+  rs.token = next_lineage_token_++;
   rs.shuffle_id = shuffle_id;
   rs.fn = task;
   replay_stages_.push_back(std::move(rs));
+  return replay_stages_.back().token;
 }
 
-void SparkContext::RegisterLineage(int rdd_id,
-                                   std::function<void(TaskContext&)> fn) {
+int SparkContext::RegisterLineage(int rdd_id,
+                                  std::function<void(TaskContext&)> fn) {
   ReplayStage rs;
   rs.name = "lineage rdd " + std::to_string(rdd_id);
+  rs.token = next_lineage_token_++;
   rs.fn = std::move(fn);
   replay_stages_.push_back(std::move(rs));
+  return replay_stages_.back().token;
+}
+
+void SparkContext::DropLineage(int token) {
+  for (auto it = replay_stages_.begin(); it != replay_stages_.end(); ++it) {
+    if (it->token == token) {
+      replay_stages_.erase(it);
+      return;
+    }
+  }
 }
 
 void SparkContext::AddWipeListener(WipeListener* listener) {

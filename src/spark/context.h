@@ -107,14 +107,27 @@ class SparkContext {
   /// `shuffle_id`'s map outputs: if an executor later crash-wipes, the map
   /// outputs it deposited are dropped and `task` is deterministically
   /// re-executed for the lost partitions before the next stage runs.
-  void RunMapStage(const std::string& name, int shuffle_id,
-                   const std::function<void(TaskContext&)>& task);
+  /// Returns a lineage token for DropLineage.
+  int RunMapStage(const std::string& name, int shuffle_id,
+                  const std::function<void(TaskContext&)>& task);
 
   /// Registers `fn` as the lineage of `rdd_id`'s cached blocks: when an
   /// executor crash-wipes, `fn` is re-run for the lost partitions before
   /// the next stage so the cache is restored. Call it after the stage that
   /// materialized the blocks; `fn` must be idempotent per partition.
-  void RegisterLineage(int rdd_id, std::function<void(TaskContext&)> fn);
+  /// Returns a lineage token for DropLineage.
+  int RegisterLineage(int rdd_id, std::function<void(TaskContext&)> fn);
+
+  /// Retires a replayable stage (batch: an unpersisted RDD; streaming: a
+  /// reclaimed epoch region). Its data is gone by contract, so replaying
+  /// it after a wipe would resurrect reclaimed blocks — and over an
+  /// unbounded epoch stream the replay log would otherwise grow without
+  /// limit. Unknown tokens are ignored.
+  void DropLineage(int token);
+
+  /// Replayable stages still registered (tests assert retired epochs
+  /// leave no replay residue behind).
+  size_t replay_stage_count() const { return replay_stages_.size(); }
 
   /// Wipe listeners (e.g. TypedRdd state holding per-partition arrays).
   void AddWipeListener(WipeListener* listener);
@@ -177,6 +190,7 @@ class SparkContext {
   /// stage. `lost` holds partitions whose output the wipe destroyed.
   struct ReplayStage {
     std::string name;
+    int token = -1;
     int shuffle_id = -1;
     std::function<void(TaskContext&)> fn;
     std::set<int> lost;
@@ -207,6 +221,7 @@ class SparkContext {
   JobMetrics metrics_;
   fault::FaultInjector injector_;
   int next_stage_id_ = 0;
+  int next_lineage_token_ = 0;
   std::atomic<uint64_t> task_retries_{0};
   std::atomic<uint64_t> recomputed_blocks_{0};
   std::vector<WipeListener*> wipe_listeners_;

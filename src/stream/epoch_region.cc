@@ -1,0 +1,83 @@
+#include "stream/epoch_region.h"
+
+#include "common/logging.h"
+
+namespace deca::stream {
+
+EpochRegion::EpochRegion(int epoch, int num_executors) : epoch_(epoch) {
+  DECA_CHECK_GT(num_executors, 0);
+  slots_.resize(static_cast<size_t>(num_executors));
+}
+
+void EpochRegion::AdoptPages(int executor,
+                             std::shared_ptr<core::PageGroup> pages) {
+  slots_[static_cast<size_t>(executor)].pages.push_back(std::move(pages));
+}
+
+void EpochRegion::AdoptBlock(int executor, spark::BlockKey key) {
+  slots_[static_cast<size_t>(executor)].blocks.push_back(key);
+}
+
+void EpochRegion::AdoptShuffle(int shuffle_id) {
+  shuffles_.push_back(shuffle_id);
+}
+
+void EpochRegion::AdoptLineage(int token) {
+  lineage_tokens_.push_back(token);
+}
+
+uint64_t EpochRegion::Reclaim(spark::SparkContext* ctx) {
+  if (reclaimed_) return 0;
+  reclaimed_ = true;
+  uint64_t freed = 0;
+  // Shuffle chunks measured before release (Release zeroes the buckets).
+  for (int sid : shuffles_) freed += ctx->shuffle()->total_bytes(sid);
+  for (size_t e = 0; e < slots_.size(); ++e) {
+    Slot& slot = slots_[e];
+    spark::CacheManager* cache = ctx->executor(static_cast<int>(e))->cache();
+    uint64_t before = cache->memory_bytes() + cache->disk_bytes();
+    for (const spark::BlockKey& key : slot.blocks) cache->Evict(key);
+    freed += before - (cache->memory_bytes() + cache->disk_bytes());
+    for (std::shared_ptr<core::PageGroup>& pages : slot.pages) {
+      // Only count footprint the drop actually frees: a group another
+      // container still shares survives its region (paper's depPages).
+      if (pages.use_count() == 1) freed += pages->footprint_bytes();
+      pages.reset();
+    }
+    slot.pages.clear();
+    slot.blocks.clear();
+  }
+  // Lineage goes last: replaying a dropped epoch is impossible from here
+  // on, which is exactly right — its data no longer exists to rebuild.
+  for (int token : lineage_tokens_) ctx->DropLineage(token);
+  lineage_tokens_.clear();
+  for (int sid : shuffles_) ctx->shuffle()->Release(sid);
+  shuffles_.clear();
+  return freed;
+}
+
+void EpochRegion::DropExecutorState(int executor) {
+  Slot& slot = slots_[static_cast<size_t>(executor)];
+  // The heap is about to reset: page-group destructors must run now,
+  // while their root providers and memory charges are still live.
+  slot.pages.clear();
+  // The wipe drops the executor's whole block store; stale keys must not
+  // linger or replay-re-adopted blocks would be double-listed.
+  slot.blocks.clear();
+}
+
+uint64_t EpochRegion::adopted_page_bytes() const {
+  uint64_t total = 0;
+  for (const Slot& slot : slots_) {
+    for (const auto& pages : slot.pages) total += pages->footprint_bytes();
+  }
+  return total;
+}
+
+size_t EpochRegion::adopted_blocks() const {
+  size_t total = 0;
+  for (const Slot& slot : slots_) total += slot.blocks.size();
+  return total;
+}
+
+}  // namespace deca::stream

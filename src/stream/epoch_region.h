@@ -1,0 +1,106 @@
+#ifndef DECA_STREAM_EPOCH_REGION_H_
+#define DECA_STREAM_EPOCH_REGION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/page.h"
+#include "spark/block_store.h"
+#include "spark/context.h"
+
+namespace deca::stream {
+
+/// Everything one streaming epoch allocated, across every plane of the
+/// engine: page groups, cached blocks, shuffle deposits and the lineage
+/// registered to rebuild them. The paper's lifetime claim, applied to
+/// micro-batching: an epoch's data shares one lifetime — the window(s)
+/// that read it — so the region reclaims all of it as a unit instead of
+/// letting a collector rediscover each object's death individually.
+///
+/// Concurrency contract (matches the cache manager's): adoption of pages
+/// and blocks happens on the owning executor's mutator thread into that
+/// executor's private slot — no locks, no cross-slot writes. Shuffle and
+/// lineage adoption, pinning and Reclaim are driver-side only, after the
+/// stage barrier.
+class EpochRegion {
+ public:
+  EpochRegion(int epoch, int num_executors);
+
+  EpochRegion(const EpochRegion&) = delete;
+  EpochRegion& operator=(const EpochRegion&) = delete;
+
+  int epoch() const { return epoch_; }
+
+  // -- Adoption: executor slots (mutator-thread side) ----------------------
+
+  /// Takes shared ownership of a page group built during this epoch; the
+  /// region's release at reclaim may be the last reference (the paper's
+  /// reference-counted page-group reclamation, driven by window close).
+  void AdoptPages(int executor, std::shared_ptr<core::PageGroup> pages);
+
+  /// Tags a cached block as epoch data: reclaim evicts it from the
+  /// executor's block store (memory or swap, wherever LRU moved it).
+  void AdoptBlock(int executor, spark::BlockKey key);
+
+  // -- Adoption: driver side -----------------------------------------------
+
+  /// Tags a shuffle as epoch-scoped: reclaim releases its chunks. Because
+  /// every epoch routes through its own shuffle id, release can never
+  /// race an in-flight fetch — fetches of this id only happen in stages
+  /// that complete before the region closes.
+  void AdoptShuffle(int shuffle_id);
+
+  /// Tags a replayable lineage stage (RunMapStage / RegisterLineage
+  /// token) as epoch-scoped: reclaim drops it, so a later crash-wipe
+  /// never resurrects reclaimed blocks and the replay log stays bounded
+  /// over an unbounded stream.
+  void AdoptLineage(int token);
+
+  // -- Window pinning (driver side) ----------------------------------------
+
+  /// One pin per not-yet-closed window that overlaps this epoch. Sliding
+  /// windows (slide < window) hold multiple pins, keeping the epoch alive
+  /// until its last overlapping window retires.
+  void Pin() { ++pins_; }
+  /// Returns the remaining pin count.
+  int Unpin() { return --pins_; }
+  int pins() const { return pins_; }
+
+  /// Releases every adopted resource: evicts blocks, destroys page
+  /// groups, releases shuffles, drops lineage. Driver-side, post-barrier.
+  /// Returns the bytes freed (cache memory+disk delta, final page-group
+  /// footprints, shuffle chunk bytes). Idempotent.
+  uint64_t Reclaim(spark::SparkContext* ctx);
+  bool reclaimed() const { return reclaimed_; }
+
+  /// Crash-wipe path: drops this region's references into `executor`'s
+  /// dying heap *before* the heap resets (wipe-listener order). Lineage
+  /// replay re-adopts whatever it rebuilds.
+  void DropExecutorState(int executor);
+
+  // -- Introspection (tests, benches) --------------------------------------
+
+  /// Current heap footprint of all adopted page groups.
+  uint64_t adopted_page_bytes() const;
+  size_t adopted_blocks() const;
+  size_t adopted_shuffles() const { return shuffles_.size(); }
+  size_t adopted_lineage() const { return lineage_tokens_.size(); }
+
+ private:
+  struct Slot {
+    std::vector<std::shared_ptr<core::PageGroup>> pages;
+    std::vector<spark::BlockKey> blocks;
+  };
+
+  int epoch_;
+  int pins_ = 0;
+  bool reclaimed_ = false;
+  std::vector<Slot> slots_;          // one per executor
+  std::vector<int> shuffles_;        // driver-side
+  std::vector<int> lineage_tokens_;  // driver-side
+};
+
+}  // namespace deca::stream
+
+#endif  // DECA_STREAM_EPOCH_REGION_H_

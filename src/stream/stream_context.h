@@ -1,0 +1,122 @@
+#ifndef DECA_STREAM_STREAM_CONTEXT_H_
+#define DECA_STREAM_STREAM_CONTEXT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/histogram.h"
+#include "spark/context.h"
+#include "stream/epoch_region.h"
+
+namespace deca::stream {
+
+/// Windowing plan of a micro-batch stream. Windows cover `window`
+/// consecutive epochs and start every `slide` epochs (slide == window is
+/// tumbling; slide < window is sliding, overlapping windows each pinning
+/// the epochs they cover). Only windows that complete within `epochs`
+/// ever fire.
+struct StreamOptions {
+  int epochs = 60;
+  int window = 4;
+  int slide = 0;  // 0 = tumbling (slide == window)
+
+  int effective_slide() const { return slide > 0 ? slide : window; }
+};
+
+/// One completed window: epochs [start, end).
+struct StreamWindow {
+  int index = 0;
+  int start = 0;
+  int end = 0;
+};
+
+/// Drives a windowed job epoch by epoch over one SparkContext. Each epoch
+/// opens an EpochRegion, runs the caller's per-epoch stages (which adopt
+/// their allocations into the region), fires every window that closes at
+/// the epoch boundary, then unpins and reclaims regions whose last
+/// overlapping window retired. At every epoch boundary the unified
+/// memory accounting identity is re-verified across all executors, the
+/// data-plane footprint is sampled (drift detection), and epoch
+/// open/close/reclaim events land on the driver's trace lane.
+///
+/// Registered as a wipe listener: a mid-epoch executor crash drops every
+/// live region's references into the dying heap before it resets;
+/// lineage replay then rebuilds (and re-adopts) the lost epoch state, so
+/// window outputs are bit-identical with or without the crash.
+class StreamContext : public spark::WipeListener {
+ public:
+  StreamContext(spark::SparkContext* ctx, const StreamOptions& opts);
+  ~StreamContext() override;
+
+  StreamContext(const StreamContext&) = delete;
+  StreamContext& operator=(const StreamContext&) = delete;
+
+  using EpochFn = std::function<void(int epoch, EpochRegion& region)>;
+  using WindowFn = std::function<void(const StreamWindow& window)>;
+
+  /// The epoch loop: per_epoch runs the epoch's stages; on_window fires
+  /// once per completed window, after which the window's epochs unpin.
+  void RunEpochs(const EpochFn& per_epoch, const WindowFn& on_window);
+
+  /// The live region for `epoch`; null once reclaimed (or never opened).
+  EpochRegion* region(int epoch) const;
+  size_t live_regions() const { return regions_.size(); }
+
+  const spark::SparkContext* spark() const { return ctx_; }
+  const StreamOptions& options() const { return opts_; }
+
+  void OnExecutorWipe(int executor_id) override;
+
+  // -- Steady-state metrics ------------------------------------------------
+
+  int epochs_run() const { return epochs_run_; }
+  int windows_emitted() const { return windows_emitted_; }
+  /// Per-epoch pause: the epoch's stop-the-world GC time plus the wall
+  /// time of region reclaim at its boundary (the two mutator-visible
+  /// stalls the paper's comparison contrasts).
+  const Histogram& epoch_pause_ms() const { return pause_ms_; }
+  /// Region-reclaim wall time alone.
+  const Histogram& reclaim_ms() const { return reclaim_ms_; }
+  uint64_t reclaimed_bytes() const { return reclaimed_bytes_; }
+
+  /// Data-plane footprint (native page charges + block-store bytes,
+  /// memory and swap) sampled at each epoch boundary. `base` is the
+  /// sample at epoch 10's close (or the first boundary of shorter runs):
+  /// steady state must hold end within noise of base.
+  uint64_t footprint_base_bytes() const { return footprint_base_; }
+  uint64_t footprint_end_bytes() const { return footprint_end_; }
+  uint64_t footprint_peak_bytes() const { return footprint_peak_; }
+
+ private:
+  void OpenEpoch(int e);
+  /// Fires the window closing at epoch `e` (if any), unpins its epochs
+  /// and reclaims regions that reach pin count zero. Reports the reclaim
+  /// wall time spent at this boundary.
+  void CloseEpoch(int e, const WindowFn& on_window, double* reclaim_ms_out);
+  /// Reclaims and erases one region; returns its reclaim wall time.
+  double ReclaimRegion(int epoch);
+  /// Rebinds the driver trace lane to this epoch's bookkeeping window
+  /// (stage -2 marks epoch-lifecycle events; `phase` 0 = open, 1 =
+  /// close, keeping event keys unique and canonically ordered).
+  obs::TraceRecorder* EpochTraceWindow(int e, int phase);
+  uint64_t SampleFootprint() const;
+
+  spark::SparkContext* ctx_;
+  StreamOptions opts_;
+  std::map<int, std::unique_ptr<EpochRegion>> regions_;
+  int epochs_run_ = 0;
+  int windows_emitted_ = 0;
+  Histogram pause_ms_;
+  Histogram reclaim_ms_;
+  uint64_t reclaimed_bytes_ = 0;
+  uint64_t footprint_base_ = 0;
+  uint64_t footprint_end_ = 0;
+  uint64_t footprint_peak_ = 0;
+  bool base_sampled_ = false;
+};
+
+}  // namespace deca::stream
+
+#endif  // DECA_STREAM_STREAM_CONTEXT_H_

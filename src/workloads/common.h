@@ -66,6 +66,21 @@ struct RunResult {
   bool net_active = false;
   net::NetStatsSnapshot net;
 
+  // Streaming plane (all zero unless the run was a micro-batch stream).
+  // Pauses are per-epoch stop-the-world GC + region-reclaim stalls; the
+  // footprint samples are the data-plane bytes (native page charges +
+  // block store) at epoch boundaries — base at epoch 10, so end vs base
+  // is the steady-state drift.
+  uint64_t epochs_run = 0;
+  uint64_t windows_emitted = 0;
+  double epoch_pause_p50_ms = 0;
+  double epoch_pause_p99_ms = 0;
+  double epoch_reclaim_p99_ms = 0;
+  uint64_t epoch_reclaimed_bytes = 0;
+  uint64_t footprint_base_bytes = 0;
+  uint64_t footprint_end_bytes = 0;
+  uint64_t footprint_peak_bytes = 0;
+
   // Optional lifetime profile (figures 8a / 9a): live tracked-object count
   // and cumulative GC ms sampled over run time.
   TimeSeries object_counts;

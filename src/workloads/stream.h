@@ -1,0 +1,58 @@
+#ifndef DECA_WORKLOADS_STREAM_H_
+#define DECA_WORKLOADS_STREAM_H_
+
+#include <cstdint>
+
+#include "stream/stream_context.h"
+#include "workloads/common.h"
+
+namespace deca::workloads {
+
+/// Shared parameters of the three micro-batch streaming workloads. Each
+/// epoch ingests `records_per_epoch` records (split across partitions),
+/// runs its stages inside an epoch region, and windows of
+/// `stream.window` epochs fire every `stream.slide` epochs.
+struct StreamParams {
+  stream::StreamOptions stream;
+  uint64_t records_per_epoch = 20000;
+  uint64_t distinct_keys = 2048;
+  /// Sessionization: two visits of one user belong to the same session
+  /// when the time gap between them is at most this (epoch time units;
+  /// each epoch spans 1000 units).
+  int64_t session_gap = 1500;
+  Mode mode = Mode::kDeca;
+  spark::SparkConfig spark;
+  uint64_t seed = 2016;
+};
+
+/// Result of a streaming run. `digest` folds every window's
+/// order-independent output summary in window order, so two runs agree
+/// bit-for-bit iff every window produced identical results — the
+/// parallel==sequential and crash-replay checks compare exactly this.
+struct StreamResult {
+  RunResult run;
+  uint64_t windows = 0;
+  uint64_t digest = 0;
+  uint64_t records_processed = 0;
+  double throughput_rps = 0;  // records ingested per wall-clock second
+};
+
+/// Windowed wordcount: per epoch a hash-combining map/shuffle/reduce
+/// materializes a per-partition count table; a window merges its epochs'
+/// tables (total, distinct, key checksum).
+StreamResult RunStreamWordCount(const StreamParams& params);
+
+/// Web-log sessionization over UserVisit-shaped rows (sourceIP,
+/// visitDate, adRevenue in cents): per epoch, per-user visit partials;
+/// a window stitches partials across epochs in time order and counts
+/// sessions split by `session_gap`.
+StreamResult RunStreamSessionize(const StreamParams& params);
+
+/// Sliding-window aggregation (sum/min/max/count of a value stream):
+/// tiny per-epoch partials, overlapping windows — the pinning
+/// stress-case where one epoch stays live across several windows.
+StreamResult RunStreamSlidingAgg(const StreamParams& params);
+
+}  // namespace deca::workloads
+
+#endif  // DECA_WORKLOADS_STREAM_H_

@@ -1,0 +1,22 @@
+#include "workloads/stream_common.h"
+
+namespace deca::workloads {
+
+void FillStreamRun(const stream::StreamContext& sc, RunResult* run) {
+  run->epochs_run = static_cast<uint64_t>(sc.epochs_run());
+  run->windows_emitted = static_cast<uint64_t>(sc.windows_emitted());
+  run->epoch_pause_p50_ms = sc.epoch_pause_ms().Percentile(50);
+  run->epoch_pause_p99_ms = sc.epoch_pause_ms().Percentile(99);
+  run->epoch_reclaim_p99_ms = sc.reclaim_ms().Percentile(99);
+  run->epoch_reclaimed_bytes = sc.reclaimed_bytes();
+  run->footprint_base_bytes = sc.footprint_base_bytes();
+  run->footprint_end_bytes = sc.footprint_end_bytes();
+  run->footprint_peak_bytes = sc.footprint_peak_bytes();
+  // "Slowest task" over thousands of microsecond-scale epoch stages is
+  // pure host-scheduling noise (which task wins varies per run, and its
+  // byte peaks swing with it) — streaming runs report the per-epoch
+  // pause/footprint plane instead.
+  run->slowest_task = spark::TaskMetrics{};
+}
+
+}  // namespace deca::workloads

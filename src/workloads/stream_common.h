@@ -1,0 +1,43 @@
+#ifndef DECA_WORKLOADS_STREAM_COMMON_H_
+#define DECA_WORKLOADS_STREAM_COMMON_H_
+
+#include <cstdint>
+
+#include "stream/stream_context.h"
+#include "workloads/stream.h"
+
+namespace deca::workloads {
+
+/// Per-epoch cached tables cycle through a fixed ring of rdd ids, so the
+/// cache's per-rdd RecordOps registrations stay bounded over an unbounded
+/// stream. Safe as long as window depth <= kStreamRddSlots: a slot's
+/// previous tenant is always reclaimed (blocks evicted by its region)
+/// before the id comes around again.
+constexpr int kStreamRddBase = 1000;
+constexpr int kStreamRddSlots = 256;
+
+inline int StreamRdd(int epoch) {
+  return kStreamRddBase + epoch % kStreamRddSlots;
+}
+
+/// splitmix64 finalizer: the digest/key mixer of the stream workloads.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-style fold: windows fold in emission order, values within a
+/// window must already be order-independent sums.
+inline uint64_t FoldDigest(uint64_t digest, uint64_t v) {
+  return (digest ^ Mix64(v)) * 1099511628211ULL;
+}
+
+/// Copies a finished stream context's epoch aggregates into the run
+/// record (pause percentiles, reclaimed bytes, footprint drift samples).
+void FillStreamRun(const stream::StreamContext& sc, RunResult* run);
+
+}  // namespace deca::workloads
+
+#endif  // DECA_WORKLOADS_STREAM_COMMON_H_

@@ -232,6 +232,13 @@ RunReport SampleReport() {
   agg.count = 8;
   agg.total_ms = 39.5;
   run.spans.push_back(agg);
+  run.epochs.present = true;
+  run.epochs.epochs_run = 240;
+  run.epochs.windows = 60;
+  run.epochs.reclaimed_bytes = 987654321;
+  run.epochs.pause_p50_ms = 0.5;
+  run.epochs.pause_p99_ms = 2.25;
+  run.epochs.reclaim_p99_ms = 1.125;
   rep.runs.push_back(run);
 
   ReportRun run2;
@@ -356,6 +363,41 @@ TEST(RunReportDiffTest, MissingRunOrMetricFailsExtrasPass) {
   grown.runs.push_back(extra);
   grown.runs[0].Add("new_metric", 3.0, true);
   EXPECT_TRUE(DiffReports(base, grown, DiffOptions{}).ok());
+}
+
+TEST(RunReportDiffTest, EpochCountersExactPausesThresholded) {
+  RunReport base = SampleReport();
+
+  // Epoch counters are deterministic: any drift fails.
+  RunReport bad_windows = base;
+  bad_windows.runs[0].epochs.windows += 1;
+  auto d = DiffReports(base, bad_windows, DiffOptions{});
+  ASSERT_FALSE(d.ok());
+  EXPECT_NE(d.failures[0].find("windows"), std::string::npos);
+
+  RunReport bad_bytes = base;
+  bad_bytes.runs[0].epochs.reclaimed_bytes -= 1;
+  EXPECT_FALSE(DiffReports(base, bad_bytes, DiffOptions{}).ok());
+
+  // Pauses are wall times: gated by threshold + floor, regressions only.
+  RunReport slow = base;
+  slow.runs[0].epochs.pause_p99_ms = 5.0;  // 2.25 -> 5.0 fails
+  EXPECT_FALSE(DiffReports(base, slow, DiffOptions{}).ok());
+
+  RunReport mild = base;
+  mild.runs[0].epochs.pause_p99_ms *= 1.05;  // within threshold/floor
+  EXPECT_TRUE(DiffReports(base, mild, DiffOptions{}).ok());
+
+  RunReport better = base;
+  better.runs[0].epochs.pause_p99_ms *= 0.5;
+  EXPECT_TRUE(DiffReports(base, better, DiffOptions{}).ok());
+
+  // A baseline with an epoch plane requires one in `current`.
+  RunReport stripped = base;
+  stripped.runs[0].epochs = obs::EpochAgg{};
+  EXPECT_FALSE(DiffReports(base, stripped, DiffOptions{}).ok());
+  // The reverse (baseline batch, current streaming) is growth: allowed.
+  EXPECT_TRUE(DiffReports(stripped, base, DiffOptions{}).ok());
 }
 
 TEST(RunReportDiffTest, SpanCountsExactTotalsThresholded) {
