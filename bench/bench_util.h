@@ -64,11 +64,20 @@ inline void PrintEffectiveConfigOnce(const spark::SparkConfig& cfg) {
   printed = true;
   std::printf(
       "config: executors=%d threads=%d heap=%zuMB executor_memory=%zuMB "
-      "storage_fraction=%.2f page=%uKB transport=%s\n",
+      "storage_fraction=%.2f page=%uKB transport=%s dist=%s\n",
       cfg.num_executors, cfg.num_worker_threads, cfg.heap.heap_bytes >> 20,
       cfg.executor_memory() >> 20, cfg.storage_fraction,
       cfg.deca_page_bytes >> 10,
-      spark::ShuffleTransportName(cfg.shuffle_transport));
+      spark::ShuffleTransportName(cfg.shuffle_transport),
+      spark::DistModeName(cfg.dist_mode));
+  if (cfg.dist_mode == spark::DistMode::kProcess) {
+    std::printf(
+        "cluster: heartbeat=%dms miss_threshold=%d probes=%d "
+        "backoff=%dms rpc_deadline=%dms\n",
+        cfg.cluster.heartbeat_interval_ms, cfg.cluster.heartbeat_miss_threshold,
+        cfg.cluster.reconnect_probes, cfg.cluster.retry_backoff_base_ms,
+        cfg.cluster.rpc_deadline_ms);
+  }
 }
 
 /// Prints the effective stream plan once per process (effective-config
@@ -110,6 +119,17 @@ inline void PrintEffectiveStreamConfigOnce(const stream::StreamOptions& o) {
 ///                            deterministic in-process wire (default local)
 ///   DECA_NET_LATENCY_US=N    simulated per-message latency, virtual time
 ///   DECA_NET_BANDWIDTH_MBPS=N simulated wire bandwidth (0 = infinite)
+///
+/// Distributed control plane (src/cluster; digests, GC counts and fault
+/// counters are bit-identical to the in-process run):
+///   DECA_DIST_MODE=local|process
+///                            "process" spawns one deca_executord daemon
+///                            per executor and drives stages over RPC
+///   DECA_HEARTBEAT_MS=N      driver liveness ping period (default 100)
+///   DECA_HEARTBEAT_MISSES=N  consecutive misses before reconnect probing
+///   DECA_RPC_DEADLINE_MS=N   control RPC response deadline
+///   DECA_RETRY_BACKOFF_MS=N  base of the exponential probe/retry backoff
+///   DECA_EXECUTORD=PATH      daemon binary (default: next to the bench)
 inline spark::SparkConfig DefaultSpark(size_t heap_mb = 64) {
   spark::SparkConfig cfg;
   cfg.partitions_per_executor = 2;
@@ -146,6 +166,23 @@ inline spark::SparkConfig DefaultSpark(size_t heap_mb = 64) {
   cfg.net_latency_us = EnvU64("DECA_NET_LATENCY_US", cfg.net_latency_us);
   cfg.net_bandwidth_mbps =
       EnvU64("DECA_NET_BANDWIDTH_MBPS", cfg.net_bandwidth_mbps);
+  std::string dist = EnvStr("DECA_DIST_MODE", "local");
+  if (dist == "process") {
+    cfg.dist_mode = spark::DistMode::kProcess;
+  } else if (dist != "local" && dist != "inprocess") {
+    std::fprintf(stderr, "unknown DECA_DIST_MODE '%s', using local\n",
+                 dist.c_str());
+  }
+  cfg.cluster.heartbeat_interval_ms =
+      EnvInt("DECA_HEARTBEAT_MS", cfg.cluster.heartbeat_interval_ms);
+  cfg.cluster.heartbeat_miss_threshold =
+      EnvInt("DECA_HEARTBEAT_MISSES", cfg.cluster.heartbeat_miss_threshold);
+  cfg.cluster.rpc_deadline_ms =
+      EnvInt("DECA_RPC_DEADLINE_MS", cfg.cluster.rpc_deadline_ms);
+  cfg.cluster.retry_backoff_base_ms =
+      EnvInt("DECA_RETRY_BACKOFF_MS", cfg.cluster.retry_backoff_base_ms);
+  cfg.cluster.executord_path =
+      EnvStr("DECA_EXECUTORD", cfg.cluster.executord_path);
   cfg.spill_dir = "/tmp/deca_bench_spill";
   // Structured tracing: on when a report/trace file was requested
   // (BenchReport) or forced via DECA_TRACE=1. Off by default — the task
@@ -288,6 +325,30 @@ class BenchReport {
             static_cast<double>(r.net.virtual_wire_us));
       time("net.encode_ms", r.net.encode_ms);
       time("net.decode_ms", r.net.decode_ms);
+    }
+    if (r.dist_active) {
+      // Control plane, present only under DECA_DIST_MODE=process. Spawn /
+      // kill / respawn / death / quarantine counts are deterministic for a
+      // given fault seed; heartbeat, probe and RPC-message counts are
+      // wall-clock paced, so they diff with a threshold only.
+      exact("cluster.executors_spawned",
+            static_cast<double>(r.cluster.executors_spawned));
+      exact("cluster.executors_killed",
+            static_cast<double>(r.cluster.executors_killed));
+      exact("cluster.executors_respawned",
+            static_cast<double>(r.cluster.executors_respawned));
+      exact("cluster.executors_declared_dead",
+            static_cast<double>(r.cluster.executors_declared_dead));
+      exact("cluster.stage_quarantines",
+            static_cast<double>(r.cluster.stage_quarantines));
+      time("cluster.heartbeats_sent",
+           static_cast<double>(r.cluster.heartbeats_sent));
+      time("cluster.heartbeat_misses",
+           static_cast<double>(r.cluster.heartbeat_misses));
+      time("cluster.reconnect_probes",
+           static_cast<double>(r.cluster.reconnect_probes));
+      time("cluster.rpc_messages",
+           static_cast<double>(r.cluster.rpc_messages));
     }
     if (r.epochs_run > 0) {
       // Streaming plane (schema v2): typed epoch aggregate plus flat

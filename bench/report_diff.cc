@@ -4,10 +4,15 @@
 //     bit-for-bit,
 //   - time metrics may grow by at most --time-threshold (relative) AND
 //     --time-floor-ms (absolute slack, so micro-benches don't flap),
-//   - span counts are exact, span totals follow the time rule.
+//   - span counts are exact, span totals follow the time rule,
+//   - with --exact-only, only exact metrics and deterministic epoch
+//     counters are compared (time metrics and spans skipped) — for
+//     diffing a DECA_DIST_MODE=process run against an in-process
+//     baseline, where timings and worker-side spans legitimately differ.
 //
 // Usage:
-//   report_diff [--time-threshold=F] [--time-floor-ms=F] BASELINE CURRENT
+//   report_diff [--time-threshold=F] [--time-floor-ms=F] [--exact-only]
+//               BASELINE CURRENT
 //   report_diff --validate REPORT
 //
 // Exit codes: 0 ok, 1 regression or schema mismatch, 2 usage/I/O error.
@@ -55,7 +60,7 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: report_diff [--time-threshold=F] [--time-floor-ms=F] "
-      "BASELINE CURRENT\n"
+      "[--exact-only] BASELINE CURRENT\n"
       "       report_diff --validate REPORT\n");
   return 2;
 }
@@ -76,6 +81,8 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--time-floor-ms=", 0) == 0) {
       opt.time_floor_ms =
           std::atof(arg.c_str() + std::strlen("--time-floor-ms="));
+    } else if (arg == "--exact-only") {
+      opt.exact_only = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "report_diff: unknown flag %s\n", arg.c_str());
       return Usage();

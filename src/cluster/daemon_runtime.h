@@ -1,0 +1,97 @@
+#ifndef DECA_CLUSTER_DAEMON_RUNTIME_H_
+#define DECA_CLUSTER_DAEMON_RUNTIME_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cluster/job_spec.h"
+#include "net/control.h"
+#include "net/mesh_transport.h"
+#include "spark/dist.h"
+
+namespace deca::cluster {
+
+/// One deca_executord process: hosts exactly one executor (heap, page
+/// groups, block store, block server) and serves the driver's control
+/// plane. The control RpcServer answers heartbeats and peer updates
+/// inline on connection threads — liveness works even mid-task — while
+/// LaunchTask / StageDone / Shutdown are queued to the main thread,
+/// which runs the same SPMD workload program as the driver and pulls
+/// commands from inside SparkContext's serve loop.
+class DaemonRuntime : public spark::DistWorker {
+ public:
+  /// The process's runtime while DaemonMain is live, else nullptr. The
+  /// shared workload program uses this to tell worker from driver (and
+  /// the probe workload to SIGKILL itself on its scripted generation).
+  static DaemonRuntime* Current();
+
+  DaemonRuntime(uint16_t driver_port, int executor, int generation);
+  ~DaemonRuntime() override;
+
+  DaemonRuntime(const DaemonRuntime&) = delete;
+  DaemonRuntime& operator=(const DaemonRuntime&) = delete;
+
+  /// Registers with the driver (Hello -> Spec, Ready -> ReadyAck), builds
+  /// the data-plane mesh, runs the registered workload program, then
+  /// serves until the driver orders shutdown. Returns the exit code.
+  int Run();
+
+  int executor() const { return executor_; }
+  /// 0 for the first spawn, +1 per respawn. The probe workload keys its
+  /// scripted self-kill on this so a replacement daemon survives.
+  int generation() const { return generation_; }
+
+  /// Worker-side wiring applied to the workload's config copy by
+  /// cluster::ScopedJob: forces the sequential driver loop and disables
+  /// tracing (the daemon's stats travel via stage-ack snapshots), then
+  /// points the runtime seam at this object and the mesh.
+  void WireConfig(spark::SparkConfig* config);
+
+  // spark::DistWorker:
+  Command NextCommand() override;
+  void Reply(const exec::RemoteTaskOutcome& outcome) override;
+  void StageAck(const spark::ExecutorSnapshot& snapshot) override;
+
+ private:
+  struct Pending {
+    Command cmd;
+    std::promise<std::vector<uint8_t>> reply;  // framed response
+    bool wants_reply = false;
+  };
+
+  std::vector<uint8_t> HandleControl(const std::vector<uint8_t>& frame);
+  std::vector<uint8_t> EnqueueAndWait(std::unique_ptr<Pending> pending);
+  /// Drains commands after the workload program returned; exits on
+  /// kShutdown.
+  void WaitShutdown();
+
+  uint16_t driver_port_;
+  int executor_;
+  int generation_;
+  JobSpec spec_;
+
+  std::unique_ptr<net::RpcServer> control_;
+  std::unique_ptr<net::NetStats> net_stats_;
+  /// Guards mesh_ against the control threads (kUpdatePeers) racing its
+  /// construction on the main thread.
+  std::mutex mesh_mu_;
+  std::unique_ptr<net::MeshTransport> mesh_;
+
+  std::mutex qmu_;
+  std::condition_variable qcv_;
+  std::deque<std::unique_ptr<Pending>> queue_;
+  std::unique_ptr<Pending> current_;
+};
+
+/// deca_executord entry point (after workload registration). Flags:
+/// --driver-port=N --executor=E --generation=G.
+int DaemonMain(int argc, char** argv);
+
+}  // namespace deca::cluster
+
+#endif  // DECA_CLUSTER_DAEMON_RUNTIME_H_

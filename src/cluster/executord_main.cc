@@ -1,0 +1,22 @@
+// deca_executord: one executor daemon of a multi-process run. Spawned
+// by the driver's ClusterManager (fork/exec), registers over the
+// control plane, then runs the same SPMD workload program as the
+// driver with the worker role wired in.
+
+#include <exception>
+
+#include "cluster/daemon_runtime.h"
+#include "common/logging.h"
+#include "workloads/dist_entry.h"
+
+int main(int argc, char** argv) {
+  // Explicit registration: the workloads live in a static library and
+  // self-registering static initializers would be dropped by the linker.
+  deca::workloads::RegisterDistWorkloads();
+  try {
+    return deca::cluster::DaemonMain(argc, argv);
+  } catch (const std::exception& e) {
+    DECA_LOG(Error) << "executord: " << e.what();
+    return 1;
+  }
+}

@@ -1,0 +1,28 @@
+#include "cluster/scoped_job.h"
+
+#include <utility>
+
+#include "cluster/cluster_manager.h"
+#include "cluster/daemon_runtime.h"
+
+namespace deca::cluster {
+
+ScopedJob::ScopedJob(spark::SparkConfig* config, const std::string& workload,
+                     std::vector<uint8_t> params) {
+  if (DaemonRuntime* daemon = DaemonRuntime::Current()) {
+    daemon->WireConfig(config);
+    return;
+  }
+  if (config->dist_mode != spark::DistMode::kProcess) return;
+  manager_ =
+      std::make_unique<ClusterManager>(*config, workload, std::move(params));
+  manager_->Start();
+  config->runtime.role = spark::DistRole::kDriver;
+  config->runtime.driver = manager_.get();
+}
+
+ScopedJob::~ScopedJob() {
+  if (manager_ != nullptr) manager_->Shutdown();
+}
+
+}  // namespace deca::cluster

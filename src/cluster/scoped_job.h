@@ -1,0 +1,43 @@
+#ifndef DECA_CLUSTER_SCOPED_JOB_H_
+#define DECA_CLUSTER_SCOPED_JOB_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spark/config.h"
+
+namespace deca::cluster {
+
+class ClusterManager;
+
+/// RAII wiring for one run of a shared SPMD workload program. Construct
+/// it right before the SparkContext, on the config the context will use:
+///
+///   - inside a deca_executord process it applies the worker-side
+///     wiring (DaemonRuntime::WireConfig) — `workload`/`params` are
+///     ignored there, the daemon already has them from its JobSpec;
+///   - in the driver process with dist_mode == kProcess it spawns the
+///     cluster (ClusterManager::Start) and wires the driver role; the
+///     destructor tears every daemon down;
+///   - otherwise (in-process mode) it is a no-op.
+class ScopedJob {
+ public:
+  ScopedJob(spark::SparkConfig* config, const std::string& workload,
+            std::vector<uint8_t> params);
+  ~ScopedJob();
+
+  ScopedJob(const ScopedJob&) = delete;
+  ScopedJob& operator=(const ScopedJob&) = delete;
+
+  /// True when this process is the driver of a multi-process run.
+  bool driver() const { return manager_ != nullptr; }
+
+ private:
+  std::unique_ptr<ClusterManager> manager_;
+};
+
+}  // namespace deca::cluster
+
+#endif  // DECA_CLUSTER_SCOPED_JOB_H_

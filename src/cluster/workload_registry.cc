@@ -1,0 +1,34 @@
+#include "cluster/workload_registry.h"
+
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace deca::cluster {
+
+namespace {
+
+std::mutex& RegistryMu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<std::string, WorkloadFn>& Registry() {
+  static std::map<std::string, WorkloadFn> registry;
+  return registry;
+}
+
+}  // namespace
+
+void RegisterWorkload(const std::string& name, WorkloadFn fn) {
+  std::lock_guard<std::mutex> lock(RegistryMu());
+  Registry()[name] = std::move(fn);
+}
+
+const WorkloadFn* FindWorkload(const std::string& name) {
+  std::lock_guard<std::mutex> lock(RegistryMu());
+  auto it = Registry().find(name);
+  return it == Registry().end() ? nullptr : &it->second;
+}
+
+}  // namespace deca::cluster

@@ -1,0 +1,34 @@
+#ifndef DECA_CLUSTER_WORKLOAD_REGISTRY_H_
+#define DECA_CLUSTER_WORKLOAD_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "spark/config.h"
+
+namespace deca::cluster {
+
+/// A daemon-side workload entry point. `base` is the driver's decoded
+/// SparkConfig (the daemon's runtime wiring is applied by ScopedJob once
+/// the workload constructs it); `params` is the workload's own encoded
+/// parameter blob from the JobSpec. The function runs the exact same
+/// SPMD program the driver runs — C++ closures cannot travel over RPC,
+/// so every process executes the shared program text and the roles
+/// diverge only inside SparkContext::RunStage.
+using WorkloadFn = std::function<void(const spark::SparkConfig& base,
+                                      const std::vector<uint8_t>& params)>;
+
+/// Registers `fn` under `name`. Called from an explicit registration
+/// hook (workloads::RegisterDistWorkloads) rather than static
+/// initializers: the workload objects live in a static library and the
+/// linker would otherwise drop their translation units.
+void RegisterWorkload(const std::string& name, WorkloadFn fn);
+
+/// Returns the registered entry point, or nullptr.
+const WorkloadFn* FindWorkload(const std::string& name);
+
+}  // namespace deca::cluster
+
+#endif  // DECA_CLUSTER_WORKLOAD_REGISTRY_H_

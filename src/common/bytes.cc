@@ -20,6 +20,8 @@ void ByteWriter::WriteVarI64(int64_t v) {
 }
 
 void ByteWriter::WriteBytes(const uint8_t* data, size_t n) {
+  // An empty write may pass a null source (empty vector's data()).
+  if (n == 0) return;
   buf_.insert(buf_.end(), data, data + n);
 }
 
@@ -48,6 +50,8 @@ int64_t ByteReader::ReadVarI64() {
 
 void ByteReader::ReadBytes(uint8_t* out, size_t n) {
   DECA_DCHECK(pos_ + n <= size_);
+  // An empty read may pass a null destination (empty vector's data()).
+  if (n == 0) return;
   std::memcpy(out, data_ + pos_, n);
   pos_ += n;
 }

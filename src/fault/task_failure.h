@@ -61,6 +61,29 @@ class TaskOomFailure : public TaskFailure {
   std::string heap_dump_;
 };
 
+/// An executor process died (or stopped answering) while it still owned
+/// in-flight tasks of the current stage. Deliberately NOT a TaskFailure:
+/// the lost tasks must not be retried into the dead process's slot, and
+/// partial results it produced must not be merged. The driver catches
+/// this at the stage boundary, quarantines the stage's partial output,
+/// recovers the executor, and retries the whole stage.
+class ExecutorLostError : public std::runtime_error {
+ public:
+  ExecutorLostError(int executor, int stage, const std::string& detail)
+      : std::runtime_error("executor " + std::to_string(executor) +
+                           " lost during stage " + std::to_string(stage) +
+                           ": " + detail),
+        executor_(executor),
+        stage_(stage) {}
+
+  int executor() const { return executor_; }
+  int stage() const { return stage_; }
+
+ private:
+  int executor_;
+  int stage_;
+};
+
 }  // namespace deca::fault
 
 #endif  // DECA_FAULT_TASK_FAILURE_H_

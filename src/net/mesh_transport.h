@@ -1,0 +1,87 @@
+#ifndef DECA_NET_MESH_TRANSPORT_H_
+#define DECA_NET_MESH_TRANSPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/net_stats.h"
+#include "net/transport.h"
+
+namespace deca::net {
+
+struct MeshOptions {
+  /// Connect retry budget toward a peer that is still binding (or being
+  /// respawned by the driver).
+  int connect_attempts = 25;
+  int backoff_base_ms = 20;
+  /// Per-call response deadline; <= 0 disables.
+  int deadline_ms = 20000;
+};
+
+/// The multi-process data plane: a Transport where exactly one endpoint
+/// (`local_endpoint`) is hosted in this process and every other endpoint
+/// is a peer daemon reachable over 127.0.0.1. The local endpoint listens
+/// on an ephemeral port immediately (its port is advertised to the driver
+/// during registration); peer addresses arrive later via UpdatePeers and
+/// may change when the driver respawns a crashed executor — stale cached
+/// connections are dropped on update.
+///
+/// Call(from == local, to == local) dispatches the bound handler
+/// directly; remote calls move the exact framed bytes. Failures toward a
+/// dead peer throw ConnectError (typed, retryable) so the shuffle layer
+/// can convert them into a retryable fetch failure instead of aborting.
+class MeshTransport : public Transport {
+ public:
+  MeshTransport(int num_endpoints, int local_endpoint,
+                const MeshOptions& options, NetStats* stats);
+  ~MeshTransport() override;
+
+  /// Only `local_endpoint` may be bound in this process.
+  void Bind(int endpoint, MessageHandler handler) override;
+  std::vector<uint8_t> Call(int from, int to,
+                            const std::vector<uint8_t>& request) override;
+  int num_endpoints() const override { return num_endpoints_; }
+
+  uint16_t local_port() const { return local_port_; }
+  int local_endpoint() const { return local_endpoint_; }
+
+  /// Installs/refreshes the peer table: (endpoint, port) pairs. A changed
+  /// port closes any cached connection to that endpoint. Thread-safe.
+  void UpdatePeers(const std::vector<std::pair<int, uint16_t>>& peers);
+
+ private:
+  struct PeerConn {
+    std::mutex mu;
+    int fd = -1;
+  };
+
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  int num_endpoints_;
+  int local_endpoint_;
+  MeshOptions options_;
+  NetStats* stats_;
+
+  MessageHandler handler_;
+  int listen_fd_ = -1;
+  uint16_t local_port_ = 0;
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  bool stopping_ = false;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+
+  std::mutex peers_mu_;
+  std::map<int, uint16_t> peer_ports_;
+  std::map<int, std::unique_ptr<PeerConn>> peer_conns_;
+};
+
+}  // namespace deca::net
+
+#endif  // DECA_NET_MESH_TRANSPORT_H_

@@ -1,0 +1,180 @@
+#include "net/socket_io.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+namespace deca::net {
+
+namespace {
+
+void SetCloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// ReadAll against an absolute steady-clock deadline (deadline_at_ms <= 0
+/// disables it). Uses poll() so a stuck peer cannot block forever.
+bool ReadAllDeadline(int fd, uint8_t* data, size_t size,
+                     int64_t deadline_at_ms, bool* timed_out) {
+  size_t got = 0;
+  while (got < size) {
+    if (deadline_at_ms > 0) {
+      int64_t left = deadline_at_ms - NowMs();
+      if (left <= 0) {
+        if (timed_out != nullptr) *timed_out = true;
+        return false;
+      }
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      int pr = ::poll(&pfd, 1, static_cast<int>(left));
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (pr == 0) {
+        if (timed_out != nullptr) *timed_out = true;
+        return false;
+      }
+    }
+    ssize_t n = ::recv(fd, data + got, size - got, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    got += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool ReadFramedAt(int fd, std::vector<uint8_t>* wire, int64_t deadline_at_ms,
+                  bool* timed_out) {
+  wire->clear();
+  uint64_t len = 0;
+  int shift = 0;
+  while (true) {
+    uint8_t byte;
+    if (!ReadAllDeadline(fd, &byte, 1, deadline_at_ms, timed_out)) {
+      return false;
+    }
+    wire->push_back(byte);
+    len |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    if (shift > 63) return false;
+  }
+  if (len > (64u << 20)) return false;  // sanity cap: 64 MB per message
+  size_t header = wire->size();
+  wire->resize(header + len);
+  return ReadAllDeadline(fd, wire->data() + header, len, deadline_at_ms,
+                         timed_out);
+}
+
+}  // namespace
+
+ConnectError::ConnectError(uint16_t port, int error_code)
+    : std::runtime_error("connect to 127.0.0.1:" + std::to_string(port) +
+                         " failed: " + std::strerror(error_code) +
+                         " (retryable)"),
+      port_(port),
+      error_code_(error_code) {}
+
+bool WriteAll(int fd, const uint8_t* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool ReadAll(int fd, uint8_t* data, size_t size) {
+  return ReadAllDeadline(fd, data, size, /*deadline_at_ms=*/0, nullptr);
+}
+
+bool ReadFramed(int fd, std::vector<uint8_t>* wire) {
+  return ReadFramedAt(fd, wire, /*deadline_at_ms=*/0, nullptr);
+}
+
+bool ReadFramedDeadline(int fd, std::vector<uint8_t>* wire, int deadline_ms,
+                        bool* timed_out) {
+  if (timed_out != nullptr) *timed_out = false;
+  int64_t at = deadline_ms > 0 ? NowMs() + deadline_ms : 0;
+  return ReadFramedAt(fd, wire, at, timed_out);
+}
+
+int ListenLoopback(uint16_t* port_out, int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket() failed");
+  SetCloexec(fd);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, backlog) != 0) {
+    ::close(fd);
+    throw std::runtime_error("bind/listen failed");
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  if (port_out != nullptr) *port_out = ntohs(addr.sin_port);
+  return fd;
+}
+
+int DialLoopback(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket() failed");
+  SetCloexec(fd);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  while (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+         0) {
+    if (errno == EINTR) continue;
+    int err = errno;
+    ::close(fd);
+    throw ConnectError(port, err);
+  }
+  return fd;
+}
+
+int DialLoopbackRetry(uint16_t port, int attempts, int backoff_base_ms) {
+  if (attempts < 1) attempts = 1;
+  int backoff = backoff_base_ms > 0 ? backoff_base_ms : 1;
+  for (int i = 0;; ++i) {
+    try {
+      return DialLoopback(port);
+    } catch (const ConnectError&) {
+      if (i + 1 >= attempts) throw;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(std::min(backoff, 500)));
+    backoff *= 2;
+  }
+}
+
+}  // namespace deca::net

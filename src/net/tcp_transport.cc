@@ -1,93 +1,23 @@
 #include "net/tcp_transport.h"
 
-#include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
 #include <stdexcept>
 
-#include "common/bytes.h"
+#include "net/socket_io.h"
 
 namespace deca::net {
-
-namespace {
-
-bool WriteAll(int fd, const uint8_t* data, size_t size) {
-  size_t sent = 0;
-  while (sent < size) {
-    ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-bool ReadAll(int fd, uint8_t* data, size_t size) {
-  size_t got = 0;
-  while (got < size) {
-    ssize_t n = ::recv(fd, data + got, size - got, 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    got += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-/// Reads one varint-framed message (header + body) off the socket into
-/// `wire`, preserving the exact on-wire bytes. Returns false on EOF or a
-/// malformed header.
-bool ReadFramed(int fd, std::vector<uint8_t>* wire) {
-  wire->clear();
-  uint64_t len = 0;
-  int shift = 0;
-  while (true) {
-    uint8_t byte;
-    if (!ReadAll(fd, &byte, 1)) return false;
-    wire->push_back(byte);
-    len |= static_cast<uint64_t>(byte & 0x7f) << shift;
-    if ((byte & 0x80) == 0) break;
-    shift += 7;
-    if (shift > 63) return false;
-  }
-  if (len > (64u << 20)) return false;  // sanity cap: 64 MB per message
-  size_t header = wire->size();
-  wire->resize(header + len);
-  return ReadAll(fd, wire->data() + header, len);
-}
-
-}  // namespace
 
 TcpTransport::TcpTransport(int num_endpoints, NetStats* stats)
     : num_endpoints_(num_endpoints), stats_(stats) {
   endpoints_.reserve(static_cast<size_t>(num_endpoints));
   for (int i = 0; i < num_endpoints; ++i) {
     auto ep = std::make_unique<Endpoint>();
-    ep->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (ep->listen_fd < 0) throw std::runtime_error("tcp: socket() failed");
-    int one = 1;
-    ::setsockopt(ep->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = 0;  // ephemeral
-    if (::bind(ep->listen_fd, reinterpret_cast<sockaddr*>(&addr),
-               sizeof(addr)) != 0 ||
-        ::listen(ep->listen_fd, 64) != 0) {
-      throw std::runtime_error("tcp: bind/listen failed");
-    }
-    socklen_t addr_len = sizeof(addr);
-    ::getsockname(ep->listen_fd, reinterpret_cast<sockaddr*>(&addr),
-                  &addr_len);
-    ep->port = ntohs(addr.sin_port);
+    ep->listen_fd = ListenLoopback(&ep->port);
     endpoints_.push_back(std::move(ep));
   }
 }
@@ -173,19 +103,10 @@ void TcpTransport::ServeConnection(Endpoint* ep, int fd) {
 }
 
 int TcpTransport::ConnectTo(int to) {
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw std::runtime_error("tcp: socket() failed");
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(endpoints_[static_cast<size_t>(to)]->port);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    throw std::runtime_error("tcp: connect() failed");
-  }
-  return fd;
+  // Throws the typed retryable ConnectError on refusal: endpoints here
+  // live in-process, so a refusal is a hard bug upstream, but callers
+  // that share this seam (the daemon mesh) reconnect-with-backoff on it.
+  return DialLoopback(endpoints_[static_cast<size_t>(to)]->port);
 }
 
 std::vector<uint8_t> TcpTransport::Call(int from, int to,

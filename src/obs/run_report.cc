@@ -257,6 +257,7 @@ DiffResult DiffReports(const RunReport& baseline, const RunReport& current,
       continue;
     }
     for (const ReportMetric& bm : base_run.metrics) {
+      if (opt.exact_only && !bm.exact) continue;
       const ReportMetric* cm = cur_run->Find(bm.name);
       if (cm == nullptr) {
         fail(base_run.label + ": metric '" + bm.name +
@@ -279,6 +280,7 @@ DiffResult DiffReports(const RunReport& baseline, const RunReport& current,
       }
     }
     for (const SpanAgg& bs : base_run.spans) {
+      if (opt.exact_only) break;
       const SpanAgg* cs = nullptr;
       for (const SpanAgg& s : cur_run->spans) {
         if (s.cat == bs.cat && s.name == bs.name) {
@@ -332,9 +334,11 @@ DiffResult DiffReports(const RunReport& baseline, const RunReport& current,
                " ms");
         }
       };
-      pause("pause_p50_ms", be.pause_p50_ms, ce.pause_p50_ms);
-      pause("pause_p99_ms", be.pause_p99_ms, ce.pause_p99_ms);
-      pause("reclaim_p99_ms", be.reclaim_p99_ms, ce.reclaim_p99_ms);
+      if (!opt.exact_only) {
+        pause("pause_p50_ms", be.pause_p50_ms, ce.pause_p50_ms);
+        pause("pause_p99_ms", be.pause_p99_ms, ce.pause_p99_ms);
+        pause("reclaim_p99_ms", be.reclaim_p99_ms, ce.reclaim_p99_ms);
+      }
     }
   }
   return result;

@@ -83,6 +83,12 @@ struct DiffOptions {
   /// Exact metrics compare with this relative epsilon (doubles that went
   /// through decimal text).
   double exact_rel_eps = 1e-9;
+  /// Compare exact metrics and deterministic epoch counters only; skip
+  /// wall-time metrics and trace spans entirely. Used to diff a
+  /// multi-process run against an in-process baseline: the determinism
+  /// contract covers counters, not timings, and executor daemons do not
+  /// record worker-side spans.
+  bool exact_only = false;
 };
 
 struct DiffResult {

@@ -28,6 +28,8 @@ const char* CatName(Cat c) {
       return "net";
     case Cat::kEpoch:
       return "epoch";
+    case Cat::kCluster:
+      return "cluster";
   }
   return "?";
 }

@@ -24,6 +24,7 @@ enum class Cat : uint8_t {
   kMemory,   // unified memory-manager grants/denials/borrow arbitration
   kNet,      // wire transport: puts, fetch slices, retries, flow stalls
   kEpoch,    // streaming epoch lifecycle: open, close, region reclaim
+  kCluster,  // control plane: executor kills, deaths, respawns, replays
 };
 
 const char* CatName(Cat c);

@@ -5,6 +5,7 @@
 
 #include "fault/fault_config.h"
 #include "jvm/heap_config.h"
+#include "spark/dist.h"
 
 namespace deca::spark {
 
@@ -117,6 +118,19 @@ struct SparkConfig {
 
   /// Deterministic fault injection (disabled by default).
   fault::FaultConfig fault;
+
+  /// Execution backend: every executor in this process (default) or one
+  /// daemon process per executor driven over the control-plane RPC
+  /// protocol. Workload digests, GC counts, and fault counters are
+  /// bit-identical across the two (enforced by the equivalence matrix in
+  /// tests/cluster_dist_test.cc).
+  DistMode dist_mode = DistMode::kInProcess;
+  /// Control-plane tuning (process mode only).
+  ClusterKnobs cluster;
+  /// Internal per-process wiring (role, driver/worker seams). Filled in
+  /// by cluster::ScopedJob / the daemon main — never set it by hand, and
+  /// it is not serialized into job specs.
+  ClusterRuntime runtime;
 
   /// Structured tracing (src/obs). Disabled by default: no recorders are
   /// created and every hook is one thread-local load + branch. When

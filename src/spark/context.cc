@@ -8,7 +8,9 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "fault/task_failure.h"
 #include "net/loopback_transport.h"
+#include "net/socket_io.h"
 #include "net/tcp_transport.h"
 #include "spark/network_shuffle.h"
 
@@ -62,7 +64,24 @@ SparkContext::SparkContext(const SparkConfig& config)
   for (int i = 0; i < config.num_executors; ++i) {
     executors_.push_back(std::make_unique<Executor>(i, config_, &registry_));
   }
-  if (config_.shuffle_transport == ShuffleTransport::kLocal) {
+  if (config_.runtime.role == DistRole::kDriver) {
+    // SPMD driver: shuffle data lives in the daemons. A local stub keeps
+    // shuffle-id assignment in lockstep with every worker's program; it
+    // never holds bytes because no tasks run here.
+    DECA_CHECK(config_.runtime.driver != nullptr);
+    shuffle_ = std::make_unique<LocalShuffleService>();
+  } else if (config_.runtime.role == DistRole::kWorker) {
+    // Worker daemon: the mesh transport (owned by the daemon runtime)
+    // carries shuffle traffic between daemons; only this executor's
+    // BlockServer exists locally.
+    DECA_CHECK(config_.runtime.worker != nullptr);
+    DECA_CHECK(config_.runtime.transport != nullptr);
+    auto service = std::make_unique<NetworkShuffleService>(
+        config_, config_.runtime.transport, config_.runtime.net_stats,
+        config_.runtime.my_executor);
+    injector_.set_fetch_failure_path(service.get());
+    shuffle_ = std::move(service);
+  } else if (config_.shuffle_transport == ShuffleTransport::kLocal) {
     shuffle_ = std::make_unique<LocalShuffleService>();
   } else {
     net_stats_ = std::make_unique<net::NetStats>();
@@ -157,9 +176,205 @@ void SparkContext::RunTaskAttempts(
   }
 }
 
+void SparkContext::RunRemoteAttempts(
+    int stage, int p, bool collect, double queue_ms,
+    std::vector<std::vector<uint8_t>>* results) {
+  const int e = scheduler_.ExecutorOfPartition(p);
+  const int max_attempts = std::max(1, config_.max_task_failures);
+  for (int attempt = 0;; ++attempt) {
+    exec::RemoteTaskEnvelope env;
+    env.stage = stage;
+    env.partition = p;
+    env.attempt = attempt;
+    env.collect = collect;
+    env.queue_ms = queue_ms;
+    // RunTask throws fault::ExecutorLostError if the daemon died — never
+    // resent; it propagates to the stage-quarantine handler.
+    exec::RemoteTaskOutcome out = config_.runtime.driver->RunTask(e, env);
+    remote_fired_.fetch_add(out.fired_delta, std::memory_order_relaxed);
+    if (out.status == exec::RemoteTaskStatus::kOk) {
+      TaskMetrics m = out.metrics;
+      m.queue_ms = queue_ms;  // the driver-side dispatch queue time
+      sink_.Report(p, m);
+      if (collect && results != nullptr) {
+        (*results)[static_cast<size_t>(p)] = std::move(out.result);
+      }
+      return;
+    }
+    if (out.status == exec::RemoteTaskStatus::kFatal) {
+      throw std::runtime_error("remote task failed (stage " +
+                               std::to_string(stage) + ", partition " +
+                               std::to_string(p) + "): " + out.message);
+    }
+    // Retryable — the same bookkeeping the in-process attempt loop does.
+    if (attempt + 1 >= max_attempts) {
+      switch (out.status) {
+        case exec::RemoteTaskStatus::kFetchFailure:
+          throw fault::ShuffleFetchFailure(stage, p, attempt);
+        case exec::RemoteTaskStatus::kOom:
+          throw fault::TaskOomFailure(stage, p, attempt, out.heap_dump);
+        default:
+          throw fault::InjectedTaskFailure(stage, p, attempt);
+      }
+    }
+    DECA_LOG(Warning) << "retrying remote task (stage " << stage
+                      << ", partition " << p << ", attempt " << attempt
+                      << ")";
+    task_retries_.fetch_add(1, std::memory_order_relaxed);
+    obs::Instant(obs::Cat::kTask, "retry", attempt);
+  }
+}
+
+std::vector<std::vector<uint8_t>> SparkContext::ServeStage(
+    int stage, const std::function<void(TaskContext&)>& task,
+    const CollectFn* collect) {
+  DistWorker* worker = config_.runtime.worker;
+  while (true) {
+    DistWorker::Command cmd = worker->NextCommand();
+    switch (cmd.kind) {
+      case DistWorker::Command::Kind::kTask:
+        worker->Reply(ExecuteRemoteAttempt(stage, cmd.env, task, collect));
+        break;
+      case DistWorker::Command::Kind::kStageDone: {
+        DECA_CHECK_EQ(cmd.stage, stage)
+            << "stage-done for a stage this daemon is not serving";
+        executors_[static_cast<size_t>(config_.runtime.my_executor)]
+            ->VerifyMemoryAccounting();
+        worker->StageAck(BuildLocalSnapshot());
+        return std::move(cmd.blobs);
+      }
+      case DistWorker::Command::Kind::kShutdown:
+        // Unwinds through the workload program; the daemon main catches
+        // it, so destructors (spill cleanup) still run.
+        throw WorkerShutdown{};
+    }
+  }
+}
+
+exec::RemoteTaskOutcome SparkContext::ExecuteRemoteAttempt(
+    int stage, const exec::RemoteTaskEnvelope& env,
+    const std::function<void(TaskContext&)>& task, const CollectFn* collect) {
+  exec::RemoteTaskOutcome out;
+  const int p = env.partition;
+  const int nparts = num_partitions();
+  Executor* e = executor_for_partition(p);
+  DECA_CHECK_EQ(e->id(), config_.runtime.my_executor)
+      << "envelope for a partition this daemon does not own";
+  if (env.replay_token >= 0) {
+    // Lineage replay: clean execution — no injection, no retries, no
+    // metric reports — exactly like the in-process RecoverLostState body.
+    for (auto& rs : replay_stages_) {
+      if (rs.token != env.replay_token) continue;
+      TaskContext tc(this, e, p, nparts);
+      rs.fn(tc);
+      return out;
+    }
+    out.status = exec::RemoteTaskStatus::kFatal;
+    out.message = "unknown replay token " + std::to_string(env.replay_token);
+    return out;
+  }
+  TaskContext tc(this, e, p, nparts);
+  tc.metrics().queue_ms = env.queue_ms;
+  double gc0 = e->heap()->stats().TotalPauseMs();
+  uint64_t denied0 = e->memory()->denied_reservations();
+  Stopwatch sw;
+  try {
+    injector_.OnTaskAttempt(stage, p, env.attempt, e->heap());
+    if (collect != nullptr) {
+      out.result = (*collect)(tc);
+    } else {
+      task(tc);
+    }
+    e->heap()->ForceAllocationFailures(0);
+  } catch (const fault::ShuffleFetchFailure&) {
+    e->heap()->ForceAllocationFailures(0);
+    out.status = exec::RemoteTaskStatus::kFetchFailure;
+  } catch (const fault::TaskFailure&) {
+    e->heap()->ForceAllocationFailures(0);
+    out.status = exec::RemoteTaskStatus::kInjectedFailure;
+  } catch (const jvm::OutOfMemoryError& oom) {
+    e->heap()->ForceAllocationFailures(0);
+    out.status = exec::RemoteTaskStatus::kOom;
+    out.heap_dump = oom.heap_dump();
+  } catch (const net::ConnectError& ce) {
+    // A shuffle fetch hit a dead peer daemon: retryable like any other
+    // fetch failure — the driver's bounded attempt loop decides.
+    e->heap()->ForceAllocationFailures(0);
+    out.status = exec::RemoteTaskStatus::kFetchFailure;
+    out.message = ce.what();
+  } catch (const std::exception& ex) {
+    e->heap()->ForceAllocationFailures(0);
+    out.status = exec::RemoteTaskStatus::kFatal;
+    out.message = ex.what();
+  }
+  if (out.status == exec::RemoteTaskStatus::kOk) {
+    tc.metrics().total_ms = sw.ElapsedMillis();
+    tc.metrics().gc_ms = e->heap()->stats().TotalPauseMs() - gc0;
+    const memory::ExecutorMemoryManager* mm = e->memory();
+    tc.metrics().exec_pool_peak_bytes = mm->exec_peak();
+    tc.metrics().storage_pool_peak_bytes = mm->storage_peak();
+    tc.metrics().borrowed_bytes = mm->borrowed_peak();
+    tc.metrics().denied_reservations = mm->denied_reservations() - denied0;
+    out.metrics = tc.metrics();
+  } else {
+    out.result.clear();
+  }
+  out.fired_delta = injector_.TakeFired();
+  return out;
+}
+
+void SparkContext::MarkExecutorLost(int e) {
+  DECA_CHECK_GE(e, 0);
+  DECA_CHECK_LT(e, num_executors());
+  // The daemon's heaps, cache blocks and deposited map outputs died with
+  // its process — only the driver-side bookkeeping needs the in-process
+  // wipe treatment so lineage replay and counters stay identical.
+  for (auto* l : wipe_listeners_) l->OnExecutorWipe(e);
+  for (auto& rs : replay_stages_) {
+    for (int p = 0; p < num_partitions(); ++p) {
+      if (scheduler_.ExecutorOfPartition(p) != e) continue;
+      rs.lost.insert(p);
+    }
+  }
+  ++metrics_.executor_wipes;
+  obs::Instant(obs::Cat::kSched, "wipe", e);
+}
+
+ExecutorSnapshot SparkContext::BuildLocalSnapshot() const {
+  Executor* e =
+      executors_[static_cast<size_t>(config_.runtime.my_executor)].get();
+  ExecutorSnapshot s;
+  s.gc_pause_ms = e->heap()->stats().TotalPauseMs();
+  s.concurrent_gc_ms = e->heap()->stats().concurrent_ms;
+  s.minor_gcs = e->heap()->stats().minor_count;
+  s.full_gcs = e->heap()->stats().full_count;
+  s.oom_recoveries = e->heap()->stats().oom_recoveries;
+  s.cached_bytes = e->cache()->memory_bytes();
+  s.peak_cached_bytes = e->cache()->peak_memory_bytes();
+  s.swapped_bytes = e->cache()->disk_bytes();
+  s.pressure_evictions = e->cache()->pressure_evictions();
+  s.memory = e->memory()->Snapshot();
+  const int n = shuffle_->num_shuffles();
+  s.shuffle_bytes.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    s.shuffle_bytes[static_cast<size_t>(i)] = shuffle_->total_bytes(i);
+  }
+  return s;
+}
+
 void SparkContext::RunStageInternal(
-    const std::string& name, const std::function<void(TaskContext&)>& task) {
+    const std::string& name, const std::function<void(TaskContext&)>& task,
+    const CollectFn* collect, std::vector<std::vector<uint8_t>>* results) {
   const int stage = next_stage_id_++;
+  if (config_.runtime.role == DistRole::kWorker) {
+    // SPMD worker: this stage is served, not run. The driver dispatches
+    // envelopes; the broadcast collect blobs keep this program's
+    // between-stage state identical to the driver's.
+    auto blobs = ServeStage(stage, task, collect);
+    if (results != nullptr) *results = std::move(blobs);
+    return;
+  }
+  const bool remote = config_.runtime.role == DistRole::kDriver;
   // Driver trace window for this stage: dispatch instants, wipe/recovery
   // bookkeeping and the stage span all land on the driver lane.
   obs::TraceRecorder* drec = tracer_.driver();
@@ -169,26 +384,85 @@ void SparkContext::RunStageInternal(
     obs::ScopedSpan stage_span(obs::Cat::kStage, name.c_str(),
                                num_partitions(), num_executors());
     int wipe = injector_.CrashWipeBefore(stage);
-    if (wipe >= 0 && wipe < num_executors()) WipeExecutor(wipe);
+    if (wipe >= 0 && wipe < num_executors()) {
+      if (remote) {
+        // The same seeded decision that wipes an executor in-process
+        // delivers a real SIGKILL here; heartbeat loss detects the death
+        // and a respawned daemon is fast-forwarded through the program
+        // log before lineage replay.
+        obs::Instant(obs::Cat::kCluster, "kill", wipe);
+        config_.runtime.driver->KillExecutor(wipe);
+        obs::Instant(obs::Cat::kCluster, "dead", wipe);
+        MarkExecutorLost(wipe);
+        config_.runtime.driver->RecoverExecutor(wipe);
+        obs::Instant(obs::Cat::kCluster, "respawn", wipe);
+      } else {
+        WipeExecutor(wipe);
+      }
+    }
     RecoverLostState(stage);
     Stopwatch stage_sw;
     const int nparts = num_partitions();
-    sink_.BeginStage(nparts);
-    {
-      ScopedHeapOwnership ownership(&executors_, &scheduler_);
-      scheduler_.RunStage(
-          nparts,
-          [&](int p, double queue_ms) {
-            RunTaskAttempts(stage, p, nparts, task, queue_ms);
-          },
-          name.c_str());
+    if (results != nullptr) results->assign(static_cast<size_t>(nparts), {});
+    const int max_stage_attempts = std::max(1, config_.max_task_failures);
+    for (int stage_attempt = 0;; ++stage_attempt) {
+      sink_.BeginStage(nparts);
+      try {
+        ScopedHeapOwnership ownership(&executors_, &scheduler_);
+        scheduler_.RunStage(
+            nparts,
+            [&](int p, double queue_ms) {
+              if (remote) {
+                RunRemoteAttempts(stage, p, collect != nullptr, queue_ms,
+                                  results);
+              } else if (collect != nullptr) {
+                RunTaskAttempts(
+                    stage, p, nparts,
+                    [&](TaskContext& tc) {
+                      (*results)[static_cast<size_t>(tc.partition())] =
+                          (*collect)(tc);
+                    },
+                    queue_ms);
+              } else {
+                RunTaskAttempts(stage, p, nparts, task, queue_ms);
+              }
+            },
+            name.c_str());
+        break;
+      } catch (const fault::ExecutorLostError& lost) {
+        // Quarantine: the stage's partial results are discarded — sink
+        // and collect blobs alike — never merged. Recover the executor,
+        // replay what died with it, and retry the whole stage.
+        if (stage_attempt + 1 >= max_stage_attempts) throw;
+        DECA_LOG(Warning) << "quarantining stage " << stage << ": "
+                          << lost.what();
+        config_.runtime.driver->NoteStageQuarantine();
+        if (results != nullptr) {
+          results->assign(static_cast<size_t>(nparts), {});
+        }
+        obs::Instant(obs::Cat::kCluster, "dead", lost.executor());
+        MarkExecutorLost(lost.executor());
+        config_.runtime.driver->RecoverExecutor(lost.executor());
+        obs::Instant(obs::Cat::kCluster, "respawn", lost.executor());
+        RecoverLostState(stage);
+        continue;
+      }
+    }
+    if (remote) {
+      // Stage barrier broadcast: every daemon leaves its serve loop,
+      // folds the same collect blobs, and acks with its stats snapshot
+      // (which the Total* getters below read).
+      static const std::vector<std::vector<uint8_t>> kNoBlobs;
+      snapshots_ = config_.runtime.driver->StageDone(
+          stage, collect != nullptr, results != nullptr ? *results : kNoBlobs);
     }
     // Post-barrier: fold task metrics in partition order (deterministic
     // regardless of completion order).
     sink_.EndStage(&metrics_);
     metrics_.wall_ms += stage_sw.ElapsedMillis();
     metrics_.task_retries += task_retries_.exchange(0);
-    metrics_.injected_faults += injector_.TakeFired();
+    metrics_.injected_faults +=
+        remote ? remote_fired_.exchange(0) : injector_.TakeFired();
     metrics_.recomputed_blocks += recomputed_blocks_.exchange(0);
     metrics_.exec_pool_peak_bytes = TotalExecPoolPeakBytes();
     metrics_.storage_pool_peak_bytes = TotalStoragePoolPeakBytes();
@@ -205,12 +479,19 @@ void SparkContext::RunStageInternal(
 
 void SparkContext::RunStage(const std::string& name,
                             const std::function<void(TaskContext&)>& task) {
-  RunStageInternal(name, task);
+  RunStageInternal(name, task, nullptr, nullptr);
+}
+
+std::vector<std::vector<uint8_t>> SparkContext::RunCollectStage(
+    const std::string& name, const CollectFn& fn) {
+  std::vector<std::vector<uint8_t>> results;
+  RunStageInternal(name, {}, &fn, &results);
+  return results;
 }
 
 int SparkContext::RunMapStage(const std::string& name, int shuffle_id,
                               const std::function<void(TaskContext&)>& task) {
-  RunStageInternal(name, task);
+  RunStageInternal(name, task, nullptr, nullptr);
   ReplayStage rs;
   rs.name = name;
   rs.token = next_lineage_token_++;
@@ -275,6 +556,35 @@ void SparkContext::RecoverLostState(int stage) {
     if (!rs.lost.empty()) any = true;
   }
   if (!any) return;
+  if (config_.runtime.role == DistRole::kDriver) {
+    // Replay over RPC, in original execution order, partitions ascending
+    // (std::set order): the respawned daemon's fresh heap sees the same
+    // allocation history prefix a fresh in-process run would produce.
+    for (auto& rs : replay_stages_) {
+      if (rs.lost.empty()) continue;
+      for (int p : rs.lost) {
+        exec::RemoteTaskEnvelope env;
+        env.stage = stage;
+        env.partition = p;
+        env.attempt = -1;
+        env.replay_token = rs.token;
+        exec::RemoteTaskOutcome out = config_.runtime.driver->RunTask(
+            scheduler_.ExecutorOfPartition(p), env);
+        if (out.status != exec::RemoteTaskStatus::kOk) {
+          throw std::runtime_error("lineage replay failed (" + rs.name +
+                                   ", partition " + std::to_string(p) +
+                                   "): " + out.message);
+        }
+      }
+      obs::Instant(obs::Cat::kCluster, "replay",
+                   static_cast<double>(rs.lost.size()));
+      if (rs.shuffle_id < 0) {
+        metrics_.recomputed_blocks += rs.lost.size();
+      }
+      rs.lost.clear();
+    }
+    return;
+  }
   // Replay in original execution order so the wiped executor's heap sees
   // the same allocation history prefix a fresh run would produce. Replay
   // runs clean: no injection, no retry bookkeeping, no metric reports.
@@ -320,7 +630,17 @@ void SparkContext::UnpersistRdd(int rdd_id) {
 
 void SparkContext::ResetMetrics() { metrics_ = JobMetrics(); }
 
+// The Total* getters are role-aware: the SPMD driver's local executors
+// never run a task, so it reads the per-daemon snapshots piggybacked on
+// the last stage barrier instead. Each daemon reports only the executor
+// it hosts, so the sums equal the in-process run's bit for bit.
+
 double SparkContext::TotalGcPauseMs() const {
+  if (config_.runtime.role == DistRole::kDriver) {
+    double total = 0;
+    for (const auto& s : snapshots_) total += s.gc_pause_ms;
+    return total;
+  }
   double total = 0;
   for (const auto& e : executors_) {
     total += e->heap()->stats().TotalPauseMs();
@@ -329,6 +649,11 @@ double SparkContext::TotalGcPauseMs() const {
 }
 
 double SparkContext::TotalConcurrentGcMs() const {
+  if (config_.runtime.role == DistRole::kDriver) {
+    double total = 0;
+    for (const auto& s : snapshots_) total += s.concurrent_gc_ms;
+    return total;
+  }
   double total = 0;
   for (const auto& e : executors_) {
     total += e->heap()->stats().concurrent_ms;
@@ -337,6 +662,11 @@ double SparkContext::TotalConcurrentGcMs() const {
 }
 
 uint64_t SparkContext::TotalMinorGcs() const {
+  if (config_.runtime.role == DistRole::kDriver) {
+    uint64_t total = 0;
+    for (const auto& s : snapshots_) total += s.minor_gcs;
+    return total;
+  }
   uint64_t total = 0;
   for (const auto& e : executors_) {
     total += e->heap()->stats().minor_count;
@@ -345,6 +675,11 @@ uint64_t SparkContext::TotalMinorGcs() const {
 }
 
 uint64_t SparkContext::TotalFullGcs() const {
+  if (config_.runtime.role == DistRole::kDriver) {
+    uint64_t total = 0;
+    for (const auto& s : snapshots_) total += s.full_gcs;
+    return total;
+  }
   uint64_t total = 0;
   for (const auto& e : executors_) {
     total += e->heap()->stats().full_count;
@@ -353,6 +688,11 @@ uint64_t SparkContext::TotalFullGcs() const {
 }
 
 uint64_t SparkContext::CachedMemoryBytes() const {
+  if (config_.runtime.role == DistRole::kDriver) {
+    uint64_t total = 0;
+    for (const auto& s : snapshots_) total += s.cached_bytes;
+    return total;
+  }
   uint64_t total = 0;
   for (const auto& e : executors_) {
     total += e->cache()->memory_bytes();
@@ -361,6 +701,11 @@ uint64_t SparkContext::CachedMemoryBytes() const {
 }
 
 uint64_t SparkContext::PeakCachedMemoryBytes() const {
+  if (config_.runtime.role == DistRole::kDriver) {
+    uint64_t total = 0;
+    for (const auto& s : snapshots_) total += s.peak_cached_bytes;
+    return total;
+  }
   uint64_t total = 0;
   for (const auto& e : executors_) {
     total += e->cache()->peak_memory_bytes();
@@ -369,6 +714,11 @@ uint64_t SparkContext::PeakCachedMemoryBytes() const {
 }
 
 uint64_t SparkContext::SwappedBytes() const {
+  if (config_.runtime.role == DistRole::kDriver) {
+    uint64_t total = 0;
+    for (const auto& s : snapshots_) total += s.swapped_bytes;
+    return total;
+  }
   uint64_t total = 0;
   for (const auto& e : executors_) {
     total += e->cache()->disk_bytes();
@@ -377,6 +727,11 @@ uint64_t SparkContext::SwappedBytes() const {
 }
 
 uint64_t SparkContext::TotalPressureEvictions() const {
+  if (config_.runtime.role == DistRole::kDriver) {
+    uint64_t total = 0;
+    for (const auto& s : snapshots_) total += s.pressure_evictions;
+    return total;
+  }
   uint64_t total = 0;
   for (const auto& e : executors_) {
     total += e->cache()->pressure_evictions();
@@ -385,6 +740,11 @@ uint64_t SparkContext::TotalPressureEvictions() const {
 }
 
 uint64_t SparkContext::TotalOomRecoveries() const {
+  if (config_.runtime.role == DistRole::kDriver) {
+    uint64_t total = 0;
+    for (const auto& s : snapshots_) total += s.oom_recoveries;
+    return total;
+  }
   uint64_t total = 0;
   for (const auto& e : executors_) {
     total += e->heap()->stats().oom_recoveries;
@@ -393,24 +753,44 @@ uint64_t SparkContext::TotalOomRecoveries() const {
 }
 
 uint64_t SparkContext::TotalExecPoolPeakBytes() const {
+  if (config_.runtime.role == DistRole::kDriver) {
+    uint64_t total = 0;
+    for (const auto& s : snapshots_) total += s.memory.exec_peak;
+    return total;
+  }
   uint64_t total = 0;
   for (const auto& e : executors_) total += e->memory()->exec_peak();
   return total;
 }
 
 uint64_t SparkContext::TotalStoragePoolPeakBytes() const {
+  if (config_.runtime.role == DistRole::kDriver) {
+    uint64_t total = 0;
+    for (const auto& s : snapshots_) total += s.memory.storage_peak;
+    return total;
+  }
   uint64_t total = 0;
   for (const auto& e : executors_) total += e->memory()->storage_peak();
   return total;
 }
 
 uint64_t SparkContext::TotalBorrowedBytes() const {
+  if (config_.runtime.role == DistRole::kDriver) {
+    uint64_t total = 0;
+    for (const auto& s : snapshots_) total += s.memory.borrowed_peak;
+    return total;
+  }
   uint64_t total = 0;
   for (const auto& e : executors_) total += e->memory()->borrowed_peak();
   return total;
 }
 
 uint64_t SparkContext::TotalDeniedReservations() const {
+  if (config_.runtime.role == DistRole::kDriver) {
+    uint64_t total = 0;
+    for (const auto& s : snapshots_) total += s.memory.denied_reservations;
+    return total;
+  }
   uint64_t total = 0;
   for (const auto& e : executors_) {
     total += e->memory()->denied_reservations();
@@ -421,9 +801,35 @@ uint64_t SparkContext::TotalDeniedReservations() const {
 std::vector<memory::MemoryStats> SparkContext::ExecutorMemorySnapshots()
     const {
   std::vector<memory::MemoryStats> out;
+  if (config_.runtime.role == DistRole::kDriver) {
+    out.reserve(snapshots_.size());
+    for (const auto& s : snapshots_) out.push_back(s.memory);
+    return out;
+  }
   out.reserve(executors_.size());
   for (const auto& e : executors_) out.push_back(e->memory()->Snapshot());
   return out;
+}
+
+uint64_t SparkContext::ShuffleTotalBytes(int shuffle_id) const {
+  if (config_.runtime.role == DistRole::kDriver) {
+    uint64_t total = 0;
+    for (const auto& s : snapshots_) {
+      if (shuffle_id >= 0 &&
+          static_cast<size_t>(shuffle_id) < s.shuffle_bytes.size()) {
+        total += s.shuffle_bytes[static_cast<size_t>(shuffle_id)];
+      }
+    }
+    return total;
+  }
+  return shuffle_->total_bytes(shuffle_id);
+}
+
+ClusterCounters SparkContext::cluster_counters() const {
+  if (config_.runtime.role == DistRole::kDriver) {
+    return config_.runtime.driver->counters();
+  }
+  return ClusterCounters{};
 }
 
 }  // namespace deca::spark

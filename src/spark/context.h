@@ -9,12 +9,14 @@
 #include <vector>
 
 #include "exec/metrics_sink.h"
+#include "exec/remote_task.h"
 #include "exec/scheduler.h"
 #include "fault/fault_injector.h"
 #include "jvm/class_registry.h"
 #include "net/net_stats.h"
 #include "net/transport.h"
 #include "obs/trace.h"
+#include "spark/dist.h"
 #include "spark/executor.h"
 #include "spark/metrics.h"
 #include "spark/shuffle.h"
@@ -77,8 +79,12 @@ class SparkContext {
   const SparkConfig& config() const { return config_; }
   jvm::ClassRegistry* registry() { return &registry_; }
   ShuffleService* shuffle() { return shuffle_.get(); }
-  /// Wire-plane counters; null when shuffle_transport == kLocal.
-  const net::NetStats* net_stats() const { return net_stats_.get(); }
+  /// Wire-plane counters; null when shuffle_transport == kLocal. A worker
+  /// daemon reports the mesh's stats (owned by the daemon runtime).
+  const net::NetStats* net_stats() const {
+    return net_stats_ != nullptr ? net_stats_.get()
+                                 : config_.runtime.net_stats;
+  }
 
   int num_partitions() const {
     return config_.num_executors * config_.partitions_per_executor;
@@ -100,8 +106,26 @@ class SparkContext {
   /// converted to TaskOomFailure) is retried on the same executor in the
   /// same per-executor FIFO slot, up to `config.max_task_failures`
   /// attempts; other exception types propagate immediately.
+  ///
+  /// Distributed roles (config.runtime.role): the driver dispatches each
+  /// partition as a task envelope to its executor's daemon instead of
+  /// running `task`; a worker turns this call into a serve loop executing
+  /// the driver's envelopes with the SAME `task` closure (SPMD — every
+  /// process runs the same program). An executor that dies mid-stage
+  /// quarantines the stage: partial results are discarded (never merged),
+  /// the executor is respawned and fast-forwarded, lost state is replayed
+  /// from lineage, and the whole stage retries, bounded by
+  /// `config.max_task_failures` stage attempts.
   void RunStage(const std::string& name,
                 const std::function<void(TaskContext&)>& task);
+
+  /// A stage whose tasks each produce a byte blob, returned in partition
+  /// order. In process mode the blobs are gathered over RPC and broadcast
+  /// to every daemon at the stage barrier, so all processes fold the same
+  /// values into driver-side state (e.g. LR weights stay in lockstep).
+  using CollectFn = std::function<std::vector<uint8_t>(TaskContext&)>;
+  std::vector<std::vector<uint8_t>> RunCollectStage(const std::string& name,
+                                                    const CollectFn& fn);
 
   /// Like RunStage, but additionally records `task` as the producer of
   /// `shuffle_id`'s map outputs: if an executor later crash-wipes, the map
@@ -184,6 +208,15 @@ class SparkContext {
   /// One memory-manager snapshot per executor, in executor-id order.
   std::vector<memory::MemoryStats> ExecutorMemorySnapshots() const;
 
+  /// Shuffle payload bytes for `shuffle_id`. Role-aware: the driver sums
+  /// the per-daemon values from the latest stage-ack snapshots (its own
+  /// shuffle service is a lockstep stub holding no data).
+  uint64_t ShuffleTotalBytes(int shuffle_id) const;
+
+  DistRole role() const { return config_.runtime.role; }
+  /// Control-plane counters (driver role; zeros otherwise).
+  ClusterCounters cluster_counters() const;
+
  private:
   /// A stage whose effects can be deterministically replayed after an
   /// executor wipe: a cached-RDD load (shuffle_id < 0) or a shuffle map
@@ -200,11 +233,36 @@ class SparkContext {
   void RunTaskAttempts(int stage, int partition, int num_partitions,
                        const std::function<void(TaskContext&)>& task,
                        double queue_ms);
+  /// `collect`, when set, replaces `task` as the stage body and its blob
+  /// lands in (*results)[partition].
   void RunStageInternal(const std::string& name,
-                        const std::function<void(TaskContext&)>& task);
+                        const std::function<void(TaskContext&)>& task,
+                        const CollectFn* collect,
+                        std::vector<std::vector<uint8_t>>* results);
+  /// Driver role: one partition's bounded remote-attempt loop. Remote
+  /// outcomes map back to the exact in-process exception types; a dead
+  /// daemon surfaces as fault::ExecutorLostError (stage quarantine).
+  void RunRemoteAttempts(int stage, int partition, bool collect,
+                         double queue_ms,
+                         std::vector<std::vector<uint8_t>>* results);
+  /// Worker role: serve the driver's envelopes for this stage until
+  /// StageDone, then return its broadcast collect blobs.
+  std::vector<std::vector<uint8_t>> ServeStage(
+      int stage, const std::function<void(TaskContext&)>& task,
+      const CollectFn* collect);
+  /// Worker role: execute one envelope (task attempt or lineage replay).
+  exec::RemoteTaskOutcome ExecuteRemoteAttempt(
+      int stage, const exec::RemoteTaskEnvelope& env,
+      const std::function<void(TaskContext&)>& task, const CollectFn* collect);
+  /// Driver role: the in-process wipe bookkeeping for an executor whose
+  /// daemon died (lineage lost-sets, wipe counter). The data itself died
+  /// with the process.
+  void MarkExecutorLost(int e);
+  /// Worker role: this executor's observability snapshot for a stage ack.
+  ExecutorSnapshot BuildLocalSnapshot() const;
   /// Replays lineage/map stages for partitions lost to a wipe. `stage` is
   /// the id of the upcoming stage; replay trace windows are attributed to
-  /// it with attempt = -1.
+  /// it with attempt = -1. Driver role replays over RPC.
   void RecoverLostState(int stage);
 
   SparkConfig config_;
@@ -224,6 +282,12 @@ class SparkContext {
   int next_lineage_token_ = 0;
   std::atomic<uint64_t> task_retries_{0};
   std::atomic<uint64_t> recomputed_blocks_{0};
+  /// Driver role: injected faults reported by daemons (their identically
+  /// seeded injectors make the decisions; the driver only counts).
+  std::atomic<uint64_t> remote_fired_{0};
+  /// Driver role: each executor's latest stage-ack snapshot; the Total*
+  /// getters read these instead of the (idle) local executors.
+  std::vector<ExecutorSnapshot> snapshots_;
   std::vector<WipeListener*> wipe_listeners_;
   std::vector<ReplayStage> replay_stages_;
 };

@@ -29,7 +29,8 @@ net::WireCodec ResolveCodec(const SparkConfig& config) {
 
 NetworkShuffleService::NetworkShuffleService(const SparkConfig& config,
                                              net::Transport* transport,
-                                             net::NetStats* stats)
+                                             net::NetStats* stats,
+                                             int local_endpoint)
     : num_executors_(config.num_executors),
       codec_(ResolveCodec(config)),
       fetch_chunk_bytes_(std::max<uint32_t>(1, config.net_fetch_chunk_bytes)),
@@ -39,10 +40,12 @@ NetworkShuffleService::NetworkShuffleService(const SparkConfig& config,
       transport_(transport),
       stats_(stats) {
   DECA_CHECK_EQ(transport_->num_endpoints(), num_executors_);
-  servers_.reserve(static_cast<size_t>(num_executors_));
+  servers_.resize(static_cast<size_t>(num_executors_));
   for (int e = 0; e < num_executors_; ++e) {
-    servers_.push_back(std::make_unique<net::BlockServer>(stats_));
-    net::BlockServer* server = servers_.back().get();
+    if (local_endpoint >= 0 && e != local_endpoint) continue;
+    servers_[static_cast<size_t>(e)] =
+        std::make_unique<net::BlockServer>(stats_);
+    net::BlockServer* server = servers_[static_cast<size_t>(e)].get();
     transport_->Bind(e, [server](const std::vector<uint8_t>& request) {
       return server->HandleRequest(request);
     });
@@ -68,14 +71,20 @@ void NetworkShuffleService::PutChunk(int shuffle_id, int reducer,
   obs::Instant(obs::Cat::kNet, "net_put", static_cast<double>(bytes.size()),
                static_cast<double>(reducer));
   std::vector<uint8_t> frame = net::EncodeFrame(codec_, bytes, meta, stats_);
-  servers_[static_cast<size_t>(ExecutorOf(map_partition))]->Register(
-      shuffle_id, reducer, map_partition, std::move(frame), bytes.size());
+  net::BlockServer* server =
+      servers_[static_cast<size_t>(ExecutorOf(map_partition))].get();
+  DECA_CHECK(server != nullptr)
+      << "PutChunk for a partition owned by a remote daemon";
+  server->Register(shuffle_id, reducer, map_partition, std::move(frame),
+                   bytes.size());
   InvalidateCache(shuffle_id);
 }
 
 void NetworkShuffleService::DropMapOutput(int shuffle_id, int map_partition) {
-  servers_[static_cast<size_t>(ExecutorOf(map_partition))]->Drop(
-      shuffle_id, map_partition);
+  net::BlockServer* server =
+      servers_[static_cast<size_t>(ExecutorOf(map_partition))].get();
+  // A remote daemon's outputs die with its process; nothing to drop here.
+  if (server != nullptr) server->Drop(shuffle_id, map_partition);
   InvalidateCache(shuffle_id);
 }
 
@@ -200,13 +209,20 @@ int NetworkShuffleService::num_reducers(int shuffle_id) const {
 uint64_t NetworkShuffleService::total_bytes(int shuffle_id) const {
   uint64_t total = 0;
   for (const auto& server : servers_) {
-    total += server->PayloadBytes(shuffle_id);
+    if (server != nullptr) total += server->PayloadBytes(shuffle_id);
   }
   return total;
 }
 
+int NetworkShuffleService::num_shuffles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(reducers_per_shuffle_.size());
+}
+
 void NetworkShuffleService::Release(int shuffle_id) {
-  for (const auto& server : servers_) server->Release(shuffle_id);
+  for (const auto& server : servers_) {
+    if (server != nullptr) server->Release(shuffle_id);
+  }
   InvalidateCache(shuffle_id);
 }
 

@@ -33,9 +33,12 @@ class NetworkShuffleService final : public ShuffleService,
   using ShuffleService::PutChunk;
 
   /// `transport` and `stats` are borrowed and must outlive the service.
-  /// Binds every transport endpoint to its executor's BlockServer.
+  /// Binds every transport endpoint to its executor's BlockServer. With
+  /// `local_endpoint >= 0` (a worker daemon's mesh) only that endpoint's
+  /// BlockServer exists and is bound — the other executors' servers live
+  /// in their own daemons, reached through the transport.
   NetworkShuffleService(const SparkConfig& config, net::Transport* transport,
-                        net::NetStats* stats);
+                        net::NetStats* stats, int local_endpoint = -1);
 
   int RegisterShuffle(int num_reducers) override;
   void PutChunk(int shuffle_id, int reducer, int map_partition,
@@ -46,7 +49,10 @@ class NetworkShuffleService final : public ShuffleService,
                                                      int reducer) const
       override;
   int num_reducers(int shuffle_id) const override;
+  /// With a local endpoint this is the LOCAL payload only; the driver
+  /// sums the per-daemon values it receives in stage-ack snapshots.
   uint64_t total_bytes(int shuffle_id) const override;
+  int num_shuffles() const override;
   void Release(int shuffle_id) override;
 
   /// fault::FetchFailurePath: sends the doomed probe of an injected fetch

@@ -84,6 +84,11 @@ int LocalShuffleService::num_reducers(int shuffle_id) const {
   return Find(shuffle_id)->num_reducers;
 }
 
+int LocalShuffleService::num_shuffles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(shuffles_.size());
+}
+
 uint64_t LocalShuffleService::total_bytes(int shuffle_id) const {
   uint64_t total = 0;
   for (const auto& bucket : Find(shuffle_id)->buckets) {

@@ -68,6 +68,9 @@ class ShuffleService {
 
   virtual int num_reducers(int shuffle_id) const = 0;
   virtual uint64_t total_bytes(int shuffle_id) const = 0;
+  /// Shuffles registered so far (ids are 0..num_shuffles()-1). Worker
+  /// daemons size their per-shuffle byte snapshots from it.
+  virtual int num_shuffles() const = 0;
 
   /// Frees a completed shuffle's chunks. Stage-barrier side only.
   virtual void Release(int shuffle_id) = 0;
@@ -91,6 +94,7 @@ class LocalShuffleService final : public ShuffleService {
       override;
   int num_reducers(int shuffle_id) const override;
   uint64_t total_bytes(int shuffle_id) const override;
+  int num_shuffles() const override;
   void Release(int shuffle_id) override;
 
  private:

@@ -59,6 +59,10 @@ void FinalizeResult(spark::SparkContext* ctx, RunResult* result) {
     result->net_active = true;
     result->net = ctx->net_stats()->Snapshot();
   }
+  if (ctx->role() == spark::DistRole::kDriver) {
+    result->dist_active = true;
+    result->cluster = ctx->cluster_counters();
+  }
   result->trace = ctx->TakeTraceLog();
 }
 

@@ -66,6 +66,11 @@ struct RunResult {
   bool net_active = false;
   net::NetStatsSnapshot net;
 
+  // Control plane (multi-process runs only; dist_active is false and the
+  // counters stay zero in-process).
+  bool dist_active = false;
+  spark::ClusterCounters cluster;
+
   // Streaming plane (all zero unless the run was a micro-batch stream).
   // Pauses are per-epoch stop-the-world GC + region-reclaim stalls; the
   // footprint samples are the data-plane bytes (native page charges +

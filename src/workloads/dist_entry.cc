@@ -1,0 +1,151 @@
+#include "workloads/dist_entry.h"
+
+#include <unistd.h>
+
+#include "cluster/daemon_runtime.h"
+#include "cluster/scoped_job.h"
+#include "cluster/workload_registry.h"
+#include "common/bytes.h"
+#include "common/clock.h"
+
+namespace deca::workloads {
+
+std::vector<uint8_t> EncodeWordCountParams(const WordCountParams& p) {
+  ByteWriter w;
+  w.WriteVarU64(p.total_words);
+  w.WriteVarU64(p.distinct_keys);
+  w.Write<double>(p.zipf_s);
+  w.Write<uint8_t>(static_cast<uint8_t>(p.mode));
+  w.Write<uint8_t>(p.profile ? 1 : 0);
+  w.WriteVarU64(p.profile_every);
+  w.WriteVarU64(p.seed);
+  return w.TakeBuffer();
+}
+
+WordCountParams DecodeWordCountParams(const std::vector<uint8_t>& blob) {
+  ByteReader r(blob.data(), blob.size());
+  WordCountParams p;
+  p.total_words = r.ReadVarU64();
+  p.distinct_keys = r.ReadVarU64();
+  p.zipf_s = r.Read<double>();
+  p.mode = static_cast<Mode>(r.Read<uint8_t>());
+  p.profile = r.Read<uint8_t>() != 0;
+  p.profile_every = r.ReadVarU64();
+  p.seed = r.ReadVarU64();
+  return p;
+}
+
+std::vector<uint8_t> EncodeMlParams(const MlParams& p) {
+  ByteWriter w;
+  w.WriteVarI64(p.dims);
+  w.WriteVarU64(p.num_points);
+  w.WriteVarI64(p.iterations);
+  w.WriteVarI64(p.clusters);
+  w.Write<uint8_t>(static_cast<uint8_t>(p.mode));
+  w.Write<uint8_t>(p.profile ? 1 : 0);
+  w.WriteVarU64(p.seed);
+  return w.TakeBuffer();
+}
+
+MlParams DecodeMlParams(const std::vector<uint8_t>& blob) {
+  ByteReader r(blob.data(), blob.size());
+  MlParams p;
+  p.dims = static_cast<int>(r.ReadVarI64());
+  p.num_points = r.ReadVarU64();
+  p.iterations = static_cast<int>(r.ReadVarI64());
+  p.clusters = static_cast<int>(r.ReadVarI64());
+  p.mode = static_cast<Mode>(r.Read<uint8_t>());
+  p.profile = r.Read<uint8_t>() != 0;
+  p.seed = r.ReadVarU64();
+  return p;
+}
+
+std::vector<uint8_t> EncodeProbeParams(const ProbeParams& p) {
+  ByteWriter w;
+  w.WriteVarI64(p.stages);
+  w.WriteVarU64(p.items_per_partition);
+  w.WriteVarI64(p.die_stage);
+  w.WriteVarI64(p.die_partition);
+  w.WriteVarI64(p.die_generations);
+  return w.TakeBuffer();
+}
+
+ProbeParams DecodeProbeParams(const std::vector<uint8_t>& blob) {
+  ByteReader r(blob.data(), blob.size());
+  ProbeParams p;
+  p.stages = static_cast<int>(r.ReadVarI64());
+  p.items_per_partition = r.ReadVarU64();
+  p.die_stage = static_cast<int>(r.ReadVarI64());
+  p.die_partition = static_cast<int>(r.ReadVarI64());
+  p.die_generations = static_cast<int>(r.ReadVarI64());
+  return p;
+}
+
+ProbeResult RunDistProbe(const ProbeParams& params) {
+  spark::SparkConfig cfg = params.spark;
+  cluster::ScopedJob job(&cfg, "probe", EncodeProbeParams(params));
+  spark::SparkContext ctx(cfg);
+
+  ProbeResult result;
+  Stopwatch sw;
+  uint64_t checksum = 0;
+  for (int s = 0; s < params.stages; ++s) {
+    auto blobs = ctx.RunCollectStage(
+        "probe", [&params, s](spark::TaskContext& tc) -> std::vector<uint8_t> {
+          cluster::DaemonRuntime* rt = cluster::DaemonRuntime::Current();
+          if (rt != nullptr && s == params.die_stage &&
+              tc.partition() == params.die_partition &&
+              rt->generation() < params.die_generations) {
+            // Sudden death, indistinguishable from a SIGKILL: no reply,
+            // no unwinding, the heartbeat monitor must find out.
+            _exit(137);
+          }
+          uint64_t h = 0;
+          for (uint64_t i = 0; i < params.items_per_partition; ++i) {
+            uint64_t x = (static_cast<uint64_t>(s) << 32) ^
+                         (static_cast<uint64_t>(tc.partition()) << 16) ^ i;
+            x *= 0x9e3779b97f4a7c15ULL;
+            x ^= x >> 29;
+            h ^= x;
+          }
+          ByteWriter w;
+          w.WriteVarU64(h);
+          return w.TakeBuffer();
+        });
+    // Position-sensitive fold so a permuted gather would show up.
+    for (const auto& blob : blobs) {
+      ByteReader r(blob.data(), blob.size());
+      checksum = checksum * 1099511628211ULL ^ r.ReadVarU64();
+    }
+  }
+  result.checksum = checksum;
+  result.run.exec_ms = sw.ElapsedMillis();
+  FinalizeResult(&ctx, &result.run);
+  return result;
+}
+
+void RegisterDistWorkloads() {
+  cluster::RegisterWorkload(
+      "wordcount", [](const spark::SparkConfig& base,
+                      const std::vector<uint8_t>& blob) {
+        WordCountParams p = DecodeWordCountParams(blob);
+        p.spark = base;
+        RunWordCount(p);
+      });
+  cluster::RegisterWorkload(
+      "lr", [](const spark::SparkConfig& base,
+               const std::vector<uint8_t>& blob) {
+        MlParams p = DecodeMlParams(blob);
+        p.spark = base;
+        RunLogisticRegression(p);
+      });
+  cluster::RegisterWorkload(
+      "probe", [](const spark::SparkConfig& base,
+                  const std::vector<uint8_t>& blob) {
+        ProbeParams p = DecodeProbeParams(blob);
+        p.spark = base;
+        RunDistProbe(p);
+      });
+}
+
+}  // namespace deca::workloads

@@ -2,10 +2,12 @@
 
 #include <cmath>
 
+#include "cluster/scoped_job.h"
 #include "common/clock.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "jvm/heap_profiler.h"
+#include "workloads/dist_entry.h"
 
 namespace deca::workloads {
 
@@ -300,6 +302,9 @@ void DecaGradient(const uint8_t* rec, int dims,
 LrResult RunLogisticRegression(const MlParams& params) {
   spark::SparkConfig cfg = params.spark;
   ApplyMode(params.mode, &cfg);
+  // SPMD seam: a no-op in-process; spawns/joins the executor daemons in
+  // process mode. Must outlive the context.
+  cluster::ScopedJob job(&cfg, "lr", EncodeMlParams(params));
   spark::SparkContext ctx(cfg);
   LrTypes types(ctx.registry(), params.dims);
   ctx.RegisterCachedRdd(kLrRddId, &types.ops());
@@ -347,7 +352,9 @@ LrResult RunLogisticRegression(const MlParams& params) {
 
   jvm::HeapProfiler* profiler = nullptr;
   std::unique_ptr<jvm::HeapProfiler> profiler_holder;
-  if (params.profile) {
+  // Heap profiling needs the mutating heap in this process (off in
+  // process mode, where executor 0's mutator lives in a daemon).
+  if (params.profile && ctx.role() == spark::DistRole::kLocal) {
     profiler_holder = std::make_unique<jvm::HeapProfiler>(
         ctx.executor(0)->heap(), types.labeled_point_cls());
     profiler = profiler_holder.get();
@@ -355,12 +362,12 @@ LrResult RunLogisticRegression(const MlParams& params) {
 
   Stopwatch exec_sw;
   for (int iter = 0; iter < params.iterations; ++iter) {
-    // One gradient slot per partition; folded in partition order after
-    // the barrier so float accumulation is identical in parallel mode.
-    std::vector<std::vector<double>> part_grads(
-        static_cast<size_t>(parts),
-        std::vector<double>(static_cast<size_t>(dims), 0.0));
-    ctx.RunStage("gradient", [&](spark::TaskContext& tc) {
+    // A collect stage: per-partition gradient blobs, folded in partition
+    // order after the barrier so float accumulation is identical in
+    // parallel and distributed modes (where the barrier broadcasts the
+    // same blobs to every process and the weights advance in lockstep).
+    auto blobs = ctx.RunCollectStage("gradient", [&](spark::TaskContext& tc)
+                                                     -> std::vector<uint8_t> {
       jvm::Heap* h = tc.heap();
       // Accumulate locally and assign the slot at task end, so a retried
       // attempt that failed mid-scan cannot double-count points.
@@ -406,13 +413,18 @@ LrResult RunLogisticRegression(const MlParams& params) {
           }
         }
       });
-      part_grads[static_cast<size_t>(tc.partition())] = std::move(grad);
+      ByteWriter w;
+      for (int j = 0; j < dims; ++j) {
+        w.Write<double>(grad[static_cast<size_t>(j)]);
+      }
+      return w.TakeBuffer();
     });
     std::vector<double> gradient(static_cast<size_t>(dims), 0.0);
     for (int p = 0; p < parts; ++p) {
+      ByteReader r(blobs[static_cast<size_t>(p)].data(),
+                   blobs[static_cast<size_t>(p)].size());
       for (int j = 0; j < dims; ++j) {
-        gradient[static_cast<size_t>(j)] +=
-            part_grads[static_cast<size_t>(p)][static_cast<size_t>(j)];
+        gradient[static_cast<size_t>(j)] += r.Read<double>();
       }
     }
     double n = static_cast<double>(params.num_points);

@@ -2,11 +2,13 @@
 
 #include <cstring>
 
+#include "cluster/scoped_job.h"
 #include "common/clock.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "jvm/heap_profiler.h"
 #include "spark/shuffle.h"
+#include "workloads/dist_entry.h"
 
 namespace deca::workloads {
 
@@ -69,10 +71,16 @@ struct WcTypes {
 WordCountResult RunWordCount(const WordCountParams& params) {
   spark::SparkConfig cfg = params.spark;
   ApplyMode(params.mode, &cfg);
+  // SPMD seam: a no-op in-process; spawns/joins the executor daemons in
+  // process mode. Must outlive the context.
+  cluster::ScopedJob job(&cfg, "wordcount", EncodeWordCountParams(params));
   spark::SparkContext ctx(cfg);
   WcTypes types(ctx.registry());
 
   bool deca = params.mode == Mode::kDeca;
+  // Heap profiling needs the mutating heap in this process; in process
+  // mode executor 0's mutator lives in a daemon, so the profile is off.
+  bool profile = params.profile && ctx.role() == spark::DistRole::kLocal;
   WordCountResult result;
   result.run.mode = params.mode;
   int parts = ctx.num_partitions();
@@ -81,7 +89,7 @@ WordCountResult RunWordCount(const WordCountParams& params) {
   size_t shuffle_budget = cfg.shuffle_budget_bytes();
 
   std::unique_ptr<jvm::HeapProfiler> profiler;
-  if (params.profile) {
+  if (profile) {
     profiler = std::make_unique<jvm::HeapProfiler>(
         ctx.executor(0)->heap(), types.tuple2_cls);
   }
@@ -93,7 +101,7 @@ WordCountResult RunWordCount(const WordCountParams& params) {
   // lost partitions deterministically re-executed.
   ctx.RunMapStage("map", shuffle_id, [&](spark::TaskContext& tc) {
     jvm::Heap* h = tc.heap();
-    bool profiled = params.profile && tc.executor()->id() == 0;
+    bool profiled = profile && tc.executor()->id() == 0;
     std::unique_ptr<Rng> word_rng;
     std::unique_ptr<ZipfSampler> zipf;
     uint64_t task_seed = params.seed + static_cast<uint64_t>(tc.partition());
@@ -184,15 +192,15 @@ WordCountResult RunWordCount(const WordCountParams& params) {
     }
   });
 
-  result.shuffle_bytes = ctx.shuffle()->total_bytes(shuffle_id);
+  result.shuffle_bytes = ctx.ShuffleTotalBytes(shuffle_id);
 
-  // -- reduce stage: merge per-reducer chunks. Per-partition accumulator
-  // slots, folded in partition order after the stage (parallel-safe).
-  std::vector<uint64_t> part_total(static_cast<size_t>(parts), 0);
-  std::vector<uint64_t> part_distinct(static_cast<size_t>(parts), 0);
-  ctx.RunStage("reduce", [&](spark::TaskContext& tc) {
-    // Accumulate locally and assign the slots at task end, so a retried
-    // attempt that failed mid-merge cannot double-count.
+  // -- reduce stage: merge per-reducer chunks. A collect stage: each
+  // task's (total, distinct) blob is gathered in partition order (and
+  // broadcast to every process in distributed mode), then folded below.
+  auto blobs = ctx.RunCollectStage("reduce", [&](spark::TaskContext& tc)
+                                                 -> std::vector<uint8_t> {
+    // Accumulate locally and emit at task end, so a retried attempt
+    // that failed mid-merge cannot double-count.
     uint64_t total = 0;
     uint64_t distinct = 0;
     jvm::Heap* h = tc.heap();
@@ -229,16 +237,19 @@ WordCountResult RunWordCount(const WordCountParams& params) {
         ++distinct;
       });
     }
-    part_total[static_cast<size_t>(tc.partition())] = total;
-    part_distinct[static_cast<size_t>(tc.partition())] = distinct;
+    ByteWriter w;
+    w.WriteVarU64(total);
+    w.WriteVarU64(distinct);
+    return w.TakeBuffer();
   });
   ctx.shuffle()->Release(shuffle_id);
 
   uint64_t total = 0;
   uint64_t distinct = 0;
-  for (int p = 0; p < parts; ++p) {
-    total += part_total[static_cast<size_t>(p)];
-    distinct += part_distinct[static_cast<size_t>(p)];
+  for (const auto& blob : blobs) {
+    ByteReader r(blob.data(), blob.size());
+    total += r.ReadVarU64();
+    distinct += r.ReadVarU64();
   }
 
   result.run.exec_ms = run_sw.ElapsedMillis();

@@ -1,0 +1,109 @@
+// Heartbeat failure-detector edge cases, driven through the probe
+// workload (heapless checksum stages with a scripted mid-stage
+// self-kill):
+//   1. lost heartbeats with a healthy executor — probes succeed, nobody
+//      is killed;
+//   2. a real mid-stage death — the stage's partial results are
+//      quarantined, the replacement is fast-forwarded, the checksum is
+//      bit-identical;
+//   3. the replacement dies too — retries exhaust and the job fails
+//      loudly instead of merging partial state.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "fault/task_failure.h"
+#include "spark/config.h"
+#include "spark/dist.h"
+#include "workloads/dist_entry.h"
+
+namespace deca {
+namespace {
+
+spark::SparkConfig Config(spark::DistMode mode) {
+  spark::SparkConfig cfg;
+  cfg.num_executors = 2;
+  cfg.partitions_per_executor = 2;
+  cfg.heap.heap_bytes = 32u << 20;
+  cfg.dist_mode = mode;
+  cfg.cluster.heartbeat_interval_ms = 10;
+  cfg.cluster.heartbeat_miss_threshold = 2;
+  cfg.cluster.reconnect_probes = 2;
+  cfg.cluster.retry_backoff_base_ms = 5;
+  return cfg;
+}
+
+workloads::ProbeParams BaseProbe(spark::DistMode mode) {
+  workloads::ProbeParams p;
+  p.stages = 3;
+  p.items_per_partition = 1u << 20;  // long enough to span monitor ticks
+  p.spark = Config(mode);
+  return p;
+}
+
+TEST(ClusterHeartbeatTest, LostHeartbeatsWithHealthyExecutorNoKill) {
+  workloads::ProbeResult base =
+      workloads::RunDistProbe(BaseProbe(spark::DistMode::kInProcess));
+  ASSERT_NE(base.checksum, 0u);
+
+  // The driver monitor pretends executor 1's next pings were lost. The
+  // misses cross the threshold, the backoff probes run — and succeed,
+  // because the daemon is perfectly healthy. A lost heartbeat alone must
+  // never kill an executor.
+  workloads::ProbeParams p = BaseProbe(spark::DistMode::kProcess);
+  p.spark.cluster.test_suppress_heartbeats_executor = 1;
+  p.spark.cluster.test_suppress_heartbeats_count = 2;
+  workloads::ProbeResult r = workloads::RunDistProbe(p);
+
+  EXPECT_EQ(r.checksum, base.checksum);
+  ASSERT_TRUE(r.run.dist_active);
+  EXPECT_GE(r.run.cluster.heartbeat_misses, 2u);
+  EXPECT_GE(r.run.cluster.reconnect_probes, 1u);
+  EXPECT_EQ(r.run.cluster.executors_declared_dead, 0u);
+  EXPECT_EQ(r.run.cluster.executors_killed, 0u);
+  EXPECT_EQ(r.run.cluster.executors_respawned, 0u);
+  EXPECT_EQ(r.run.cluster.stage_quarantines, 0u);
+  EXPECT_EQ(r.run.executor_wipes, 0u);
+}
+
+TEST(ClusterHeartbeatTest, MidStageDeathQuarantinesAndRecovers) {
+  workloads::ProbeResult base =
+      workloads::RunDistProbe(BaseProbe(spark::DistMode::kInProcess));
+
+  // Generation 0 of executor 1 self-kills (_exit) the instant it starts
+  // task 1 of stage 1 — a mid-stage death with partial results already
+  // returned for stage 1. Those partials must be discarded (quarantined),
+  // the respawned generation fast-forwarded, and the stage retried to the
+  // same checksum.
+  workloads::ProbeParams p = BaseProbe(spark::DistMode::kProcess);
+  p.die_stage = 1;
+  p.die_partition = 1;  // partition 1 -> executor 1
+  p.die_generations = 1;
+  workloads::ProbeResult r = workloads::RunDistProbe(p);
+
+  EXPECT_EQ(r.checksum, base.checksum);
+  ASSERT_TRUE(r.run.dist_active);
+  EXPECT_EQ(r.run.cluster.executors_declared_dead, 1u);
+  EXPECT_EQ(r.run.cluster.executors_respawned, 1u);
+  EXPECT_GE(r.run.cluster.stage_quarantines, 1u);
+  // Nobody ordered this kill; the daemon died on its own.
+  EXPECT_EQ(r.run.cluster.executors_killed, 0u);
+  // Lost-executor bookkeeping mirrors a crash-wipe.
+  EXPECT_EQ(r.run.executor_wipes, 1u);
+}
+
+TEST(ClusterHeartbeatTest, ReplacementDyingTooFailsTheJob) {
+  // Generations 0 AND 1 self-kill at the same task; two stage attempts
+  // are all max_task_failures=2 allows, so the job must fail with the
+  // executor-lost error — never silently merge a partial stage.
+  workloads::ProbeParams p = BaseProbe(spark::DistMode::kProcess);
+  p.die_stage = 1;
+  p.die_partition = 1;
+  p.die_generations = 2;
+  p.spark.max_task_failures = 2;
+  EXPECT_THROW(workloads::RunDistProbe(p), fault::ExecutorLostError);
+}
+
+}  // namespace
+}  // namespace deca

@@ -4,13 +4,19 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <thread>
 #include <vector>
 
 #include "net/block_server.h"
+#include "net/control.h"
 #include "net/loopback_transport.h"
+#include "net/socket_io.h"
 #include "net/tcp_transport.h"
 #include "net/wire.h"
 
@@ -318,6 +324,86 @@ TEST(BlockServer, DropReleaseAndReplace) {
   server.Release(0);
   EXPECT_EQ(server.PayloadBytes(0), 0u);
   EXPECT_EQ(server.PayloadBytes(1), 40u);
+}
+
+// -- socket hardening + control plane -----------------------------------------
+
+TEST(SocketIo, RefusedConnectThrowsTypedRetryableError) {
+  // Bind-then-close: the port is (very likely) unbound and refuses.
+  uint16_t port = 0;
+  int fd = ListenLoopback(&port);
+  ::close(fd);
+  try {
+    DialLoopback(port);
+    FAIL() << "connect to a closed port should throw";
+  } catch (const ConnectError& e) {
+    EXPECT_EQ(e.port(), port);
+    EXPECT_NE(e.error_code(), 0);
+    EXPECT_TRUE(e.retryable());
+  }
+  // The retry wrapper gives up with the same typed error, so reconnect
+  // paths (registration, heartbeat probes) can keep backing off.
+  EXPECT_THROW(DialLoopbackRetry(port, 2, 1), ConnectError);
+}
+
+TEST(SocketIo, WriteAllAndReadAllMoveExactBytes) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::vector<uint8_t> sent = Payload(1 << 20, 7);  // spans many segments
+  std::thread writer(
+      [&] { EXPECT_TRUE(WriteAll(fds[0], sent.data(), sent.size())); });
+  std::vector<uint8_t> got(sent.size());
+  EXPECT_TRUE(ReadAll(fds[1], got.data(), got.size()));
+  writer.join();
+  EXPECT_EQ(got, sent);
+  // EOF after the peer closes is a clean false, not an exception.
+  ::close(fds[0]);
+  uint8_t one;
+  EXPECT_FALSE(ReadAll(fds[1], &one, 1));
+  ::close(fds[1]);
+}
+
+TEST(RpcControl, RoundTripAndDeadline) {
+  std::atomic<int> slow{0};
+  RpcServer server([&](const std::vector<uint8_t>& req) {
+    if (slow.load() != 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    }
+    std::vector<uint8_t> resp = req;  // echo
+    return resp;
+  });
+  RpcClient client(server.port(), /*connect_attempts=*/5,
+                   /*backoff_base_ms=*/5);
+
+  ByteWriter w;
+  w.Write<uint8_t>(static_cast<uint8_t>(CtrlType::kHeartbeat));
+  w.WriteVarU64(99);
+  std::vector<uint8_t> frame = FrameMessage(w);
+  EXPECT_EQ(client.Call(frame, /*deadline_ms=*/2000), frame);
+
+  // A response that misses its deadline surfaces as RpcError(timed_out);
+  // the request is never resent.
+  slow.store(1);
+  try {
+    client.Call(frame, /*deadline_ms=*/50);
+    FAIL() << "deadline should have fired";
+  } catch (const RpcError& e) {
+    EXPECT_TRUE(e.timed_out());
+  }
+  // The client reconnects transparently on the next call.
+  slow.store(0);
+  EXPECT_EQ(client.Call(frame, /*deadline_ms=*/2000), frame);
+  server.Stop();
+}
+
+TEST(RpcControl, StoppedServerRefusesWithConnectError) {
+  uint16_t port;
+  {
+    RpcServer server([](const std::vector<uint8_t>& req) { return req; });
+    port = server.port();
+  }
+  RpcClient client(port, /*connect_attempts=*/2, /*backoff_base_ms=*/1);
+  EXPECT_THROW(client.Call({1, 2, 3}, 100), ConnectError);
 }
 
 }  // namespace
