@@ -78,6 +78,11 @@ inline void PrintEffectiveConfigOnce(const spark::SparkConfig& cfg) {
         cfg.cluster.reconnect_probes, cfg.cluster.retry_backoff_base_ms,
         cfg.cluster.rpc_deadline_ms);
   }
+  if (cfg.t1_enabled()) {
+    std::printf("tiers: storage_tiers=%d t1_fraction=%.2f admit=%s\n",
+                cfg.storage_tiers, cfg.t1_fraction,
+                spark::AdmitPolicyName(cfg.admit_policy));
+  }
 }
 
 /// Prints the effective stream plan once per process (effective-config
@@ -130,6 +135,16 @@ inline void PrintEffectiveStreamConfigOnce(const stream::StreamOptions& o) {
 ///   DECA_RPC_DEADLINE_MS=N   control RPC response deadline
 ///   DECA_RETRY_BACKOFF_MS=N  base of the exponential probe/retry backoff
 ///   DECA_EXECUTORD=PATH      daemon binary (default: next to the bench)
+///
+/// Tiered block store (src/spark/block_store; with the default of 2 the
+/// legacy heap <-> disk store runs bit-identically):
+///   DECA_STORAGE_TIER=2|3    3 enables the serialized off-heap tier (T1)
+///                            between heap blocks (T0) and disk (T2)
+///   DECA_T1_FRACTION=F       T1 residency cap as a share of the unified
+///                            executor budget (default 0.5)
+///   DECA_ADMIT_POLICY=always|second_access|never
+///                            re-admission policy for Gets served from
+///                            T1/T2 (default second_access)
 inline spark::SparkConfig DefaultSpark(size_t heap_mb = 64) {
   spark::SparkConfig cfg;
   cfg.partitions_per_executor = 2;
@@ -183,6 +198,18 @@ inline spark::SparkConfig DefaultSpark(size_t heap_mb = 64) {
       EnvInt("DECA_RETRY_BACKOFF_MS", cfg.cluster.retry_backoff_base_ms);
   cfg.cluster.executord_path =
       EnvStr("DECA_EXECUTORD", cfg.cluster.executord_path);
+  cfg.storage_tiers = EnvInt("DECA_STORAGE_TIER", cfg.storage_tiers);
+  cfg.t1_fraction = EnvDouble("DECA_T1_FRACTION", cfg.t1_fraction);
+  std::string admit = EnvStr("DECA_ADMIT_POLICY", "second_access");
+  if (admit == "always") {
+    cfg.admit_policy = spark::AdmitPolicy::kAlways;
+  } else if (admit == "never") {
+    cfg.admit_policy = spark::AdmitPolicy::kNever;
+  } else if (admit != "second_access") {
+    std::fprintf(stderr,
+                 "unknown DECA_ADMIT_POLICY '%s', using second_access\n",
+                 admit.c_str());
+  }
   cfg.spill_dir = "/tmp/deca_bench_spill";
   // Structured tracing: on when a report/trace file was requested
   // (BenchReport) or forced via DECA_TRACE=1. Off by default — the task
@@ -349,6 +376,41 @@ class BenchReport {
            static_cast<double>(r.cluster.reconnect_probes));
       time("cluster.rpc_messages",
            static_cast<double>(r.cluster.rpc_messages));
+    }
+    if (r.tier_active) {
+      // Storage-tier plane (schema v3), present only when
+      // DECA_STORAGE_TIER=3 enabled the serialized off-heap tier. The
+      // resident/hit/demote counters are deterministic; promote
+      // percentiles are wall times.
+      run.tier.present = true;
+      run.tier.t0_resident_bytes = r.tier.t0_resident_bytes;
+      run.tier.t1_resident_bytes = r.tier.t1_resident_bytes;
+      run.tier.t2_resident_bytes = r.tier.t2_resident_bytes;
+      run.tier.t1_peak_bytes = r.tier.t1_peak_bytes;
+      run.tier.t0_hits = r.tier.t0_hits;
+      run.tier.t1_hits = r.tier.t1_hits;
+      run.tier.t2_hits = r.tier.t2_hits;
+      run.tier.misses = r.tier.misses;
+      run.tier.demotes_to_t1 = r.tier.demotes_to_t1;
+      run.tier.demotes_to_t2 = r.tier.demotes_to_t2;
+      run.tier.promotes = r.tier.promotes;
+      run.tier.admit_rejects = r.tier.admit_rejects;
+      run.tier.promote_p50_ms = r.tier.promote_p50_ms;
+      run.tier.promote_p99_ms = r.tier.promote_p99_ms;
+      exact("tier.t1_peak_bytes", static_cast<double>(r.tier.t1_peak_bytes));
+      exact("tier.t0_hits", static_cast<double>(r.tier.t0_hits));
+      exact("tier.t1_hits", static_cast<double>(r.tier.t1_hits));
+      exact("tier.t2_hits", static_cast<double>(r.tier.t2_hits));
+      exact("tier.misses", static_cast<double>(r.tier.misses));
+      exact("tier.demotes_to_t1",
+            static_cast<double>(r.tier.demotes_to_t1));
+      exact("tier.demotes_to_t2",
+            static_cast<double>(r.tier.demotes_to_t2));
+      exact("tier.promotes", static_cast<double>(r.tier.promotes));
+      exact("tier.admit_rejects",
+            static_cast<double>(r.tier.admit_rejects));
+      time("tier.promote_p50_ms", r.tier.promote_p50_ms);
+      time("tier.promote_p99_ms", r.tier.promote_p99_ms);
     }
     if (r.epochs_run > 0) {
       // Streaming plane (schema v2): typed epoch aggregate plus flat

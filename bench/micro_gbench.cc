@@ -5,11 +5,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <unordered_map>
+
 #include "common/random.h"
 #include "core/page.h"
 #include "obs/trace.h"
 #include "spark/context.h"
 #include "spark/shuffle.h"
+#include "spark/tier_backend.h"
 #include "stream/epoch_region.h"
 #include "stream/stream_context.h"
 #include "workloads/lr.h"
@@ -265,6 +269,58 @@ BENCHMARK(BM_PageSizeAblation)
     ->Arg(16u << 10)
     ->Arg(64u << 10)
     ->Arg(1u << 20);
+
+/// Probe keys for the block-store lookup pair below: the sub-block key
+/// population of a serving run (a handful of RDD ids, sequential
+/// partition*1024+sub granules), probed in a deterministic shuffled order.
+std::vector<spark::BlockKey> LookupKeys(int n) {
+  std::vector<spark::BlockKey> keys;
+  keys.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    keys.push_back({i % 4, (i / 4) * 1024 + i % 1024});
+  }
+  Rng rng(11);
+  for (size_t i = keys.size(); i > 1; --i) {
+    std::swap(keys[i - 1], keys[rng.NextBounded(i)]);
+  }
+  return keys;
+}
+
+/// The CacheManager's hot lookup before the tiered refactor: an ordered
+/// std::map keyed by BlockKey (one pointer-chasing tree descent per Get).
+void BM_BlockKeyMapLookup(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<spark::BlockKey> keys = LookupKeys(n);
+  std::map<spark::BlockKey, uint64_t> blocks;
+  for (const auto& k : keys) {
+    blocks[k] = static_cast<uint64_t>(k.partition);
+  }
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (const auto& k : keys) sum += blocks.find(k)->second;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BlockKeyMapLookup)->Arg(1024)->Arg(16384);
+
+/// The replacement: unordered_map with the splitmix64-mixed BlockKeyHash —
+/// one bucket probe per Get, no ordering maintained.
+void BM_BlockKeyHashLookup(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<spark::BlockKey> keys = LookupKeys(n);
+  std::unordered_map<spark::BlockKey, uint64_t, spark::BlockKeyHash> blocks;
+  for (const auto& k : keys) {
+    blocks[k] = static_cast<uint64_t>(k.partition);
+  }
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (const auto& k : keys) sum += blocks.find(k)->second;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BlockKeyHashLookup)->Arg(1024)->Arg(16384);
 
 /// Kryo-style serialization / deserialization throughput per record.
 void BM_KryoSerialize(benchmark::State& state) {

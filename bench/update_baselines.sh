@@ -16,7 +16,7 @@ out="$repo/bench/baselines"
 # Stream benches run the shortened CI steady state (DECA_STREAM_EPOCHS=48,
 # matching the bench-smoke job): epoch counters are bit-compared against
 # these baselines, so the epoch count must agree between the two.
-benches=(fig08_wc_exec fig09_lr_exec fig11_breakdown stream_wordcount stream_sessionize)
+benches=(fig08_wc_exec fig09_lr_exec fig11_breakdown stream_wordcount stream_sessionize serve_cache)
 
 for b in "${benches[@]}"; do
   if [[ ! -x "$build/bench/$b" ]]; then

@@ -67,6 +67,14 @@ class ByteReader {
   void ReadBytes(uint8_t* out, size_t n);
   std::string ReadString();
 
+  /// Advances past `n` bytes, returning a pointer to them — a zero-copy
+  /// view valid for the underlying buffer's lifetime.
+  const uint8_t* Skip(size_t n) {
+    const uint8_t* p = data_ + pos_;
+    pos_ += n;
+    return p;
+  }
+
   size_t position() const { return pos_; }
   size_t remaining() const { return size_ - pos_; }
   bool AtEnd() const { return pos_ >= size_; }

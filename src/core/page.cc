@@ -37,6 +37,32 @@ SegPtr PageGroup::Append(uint32_t bytes) {
   return seg;
 }
 
+void PageGroup::EncodeRaw(ByteWriter* out) const {
+  out->Write<uint32_t>(page_count());
+  for (uint32_t i = 0; i < page_count(); ++i) {
+    uint32_t used = used_[i];
+    out->Write<uint32_t>(used);
+    out->WriteBytes(Resolve({i, 0}), used);
+  }
+}
+
+std::shared_ptr<PageGroup> PageGroup::DecodeRaw(jvm::Heap* heap,
+                                                uint32_t page_bytes,
+                                                ByteReader* in) {
+  auto group = std::make_shared<PageGroup>(heap, page_bytes);
+  uint32_t pages = in->Read<uint32_t>();
+  for (uint32_t i = 0; i < pages; ++i) {
+    uint32_t used = in->Read<uint32_t>();
+    SegPtr seg = group->Append(used);
+    in->ReadBytes(group->Resolve(seg), used);
+  }
+  return group;
+}
+
+uint64_t PageGroup::encoded_raw_bytes() const {
+  return 4 + 4ull * page_count() + used_bytes();
+}
+
 uint64_t PageGroup::used_bytes() const {
   uint64_t total = 0;
   for (uint32_t u : used_) total += u;

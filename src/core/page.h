@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/logging.h"
 #include "jvm/heap.h"
 #include "memory/memory_manager.h"
@@ -93,6 +94,20 @@ class PageGroup : public memory::PageFootprintSource {
     return static_cast<uint64_t>(page_bytes_) + jvm::kHeaderBytes;
   }
 
+  /// Raw page-bytes fast path (paper Appendix C): writes `page count,
+  /// then per page (used bytes, raw data)`. Decomposed segments are
+  /// already GC-free bytes, so demoting or swapping a kDecaPages block is
+  /// a header plus memcpys — no per-record serialization. The format is
+  /// shared by the off-heap tier (T1) and the swap files (T2).
+  void EncodeRaw(ByteWriter* out) const;
+  /// Rebuilds a group from EncodeRaw bytes (allocating managed pages on
+  /// `heap`; charges the execution pool like any fresh group).
+  static std::shared_ptr<PageGroup> DecodeRaw(jvm::Heap* heap,
+                                              uint32_t page_bytes,
+                                              ByteReader* in);
+  /// Size EncodeRaw will produce, without materializing it.
+  uint64_t encoded_raw_bytes() const;
+
   /// Moves this group's charged footprint to `pool` (and tags future
   /// pages). No-op without a memory manager.
   void SetChargePool(memory::Pool pool);
@@ -155,6 +170,35 @@ class PageScanner {
   const PageGroup* group_;
   uint32_t page_ = 0;
   uint32_t offset_ = 0;
+};
+
+/// Sequential scanner over EncodeRaw bytes without rebuilding a page
+/// group: yields each encoded page's (data pointer, used bytes). This is
+/// the zero-copy serving path for demoted kDecaPages blocks — a query
+/// walks fixed-size decomposed records straight out of the packed T1
+/// buffer, allocating nothing on the managed heap.
+class RawPageCursor {
+ public:
+  RawPageCursor(const uint8_t* data, size_t size) : reader_(data, size) {
+    page_count_ = reader_.Read<uint32_t>();
+  }
+
+  /// Advances to the next encoded page; false once all pages are read.
+  bool Next(const uint8_t** page_data, uint32_t* used) {
+    if (index_ >= page_count_) return false;
+    uint32_t u = reader_.Read<uint32_t>();
+    *used = u;
+    *page_data = reader_.Skip(u);
+    ++index_;
+    return true;
+  }
+
+  uint32_t page_count() const { return page_count_; }
+
+ private:
+  ByteReader reader_;
+  uint32_t page_count_ = 0;
+  uint32_t index_ = 0;
 };
 
 }  // namespace deca::core

@@ -85,6 +85,9 @@ struct MemoryStats {
   uint64_t storage_peak = 0;
   uint64_t borrowed_peak = 0;        // peak bytes held across the pool split
   uint64_t denied_reservations = 0;  // requests that found no room
+  uint64_t storage_reserved = 0;     // live storage-pool reservation bytes
+  uint64_t demoted_blocks = 0;       // evictor demote-stage blocks compacted
+  uint64_t spilled_blocks = 0;       // evictor spill-stage blocks to disk
   uint64_t page_bytes = 0;           // charged native-page footprint
   uint64_t heap_capacity = 0;        // committed managed-heap capacity
   uint64_t heap_used = 0;            // live bytes at the last reported GC
@@ -116,19 +119,29 @@ class ExecutorMemoryManager {
 
   // -- Storage eviction -----------------------------------------------------
 
-  /// Sheds storage-pool memory: swaps cached blocks out until roughly
-  /// `need_bytes` are unpinned, returning the number of blocks evicted.
-  /// `for_oom` marks the heap's last-resort OOM ladder (which may dig
-  /// below the storage floor and counts as a pressure eviction);
+  /// First stage of every eviction: demote heap blocks into the
+  /// serialized off-heap tier (keeps the data resident, frees heap bytes
+  /// and the heap-vs-serialized size delta). Falls through to kSpill
+  /// (swap to disk) only for what demotion could not shed. With the
+  /// off-heap tier disabled the demote stage is a no-op and the manager
+  /// behaves exactly like the old direct LRU-to-disk path.
+  enum class EvictStage : uint8_t { kDemote, kSpill };
+
+  /// Sheds storage-pool memory: demotes or swaps cached blocks until
+  /// roughly `need_bytes` are unpinned, returning the number of blocks
+  /// acted on. `for_oom` marks the heap's last-resort OOM ladder (which
+  /// may dig below the storage floor and counts as a pressure eviction);
   /// execution-pool borrowing passes false.
-  using StorageEvictor = std::function<uint64_t(uint64_t need_bytes,
-                                                bool for_oom)>;
+  using StorageEvictor = std::function<uint64_t(
+      uint64_t need_bytes, EvictStage stage, bool for_oom)>;
   void SetStorageEvictor(StorageEvictor evictor) {
     evictor_ = std::move(evictor);
   }
 
-  /// Heap OOM degradation hook: evicts storage without floor protection.
-  /// Returns the number of blocks evicted.
+  /// Heap OOM degradation hook: evicts storage without floor protection —
+  /// demote first (moves blocks off the managed heap entirely), spill to
+  /// disk only once nothing is left to demote. Returns the number of
+  /// blocks demoted or evicted.
   uint64_t EvictStorageForOom(uint64_t need_bytes);
 
   // -- Reservations (mutator thread) ----------------------------------------
@@ -208,6 +221,21 @@ class ExecutorMemoryManager {
   uint64_t denied_reservations() const {
     return denied_.load(std::memory_order_relaxed);
   }
+  /// Live storage-pool reservation bytes (block-store grants only; page
+  /// charges are tracked separately). The block store asserts at every
+  /// stage barrier that its per-entry reservations sum to exactly this —
+  /// a temporary block that double-charged the pool breaks the identity.
+  uint64_t storage_reserved() const {
+    return storage_reserved_.load(std::memory_order_relaxed);
+  }
+  /// Blocks the evictor compacted heap -> off-heap in the demote stage.
+  uint64_t demoted_blocks() const {
+    return demotions_.load(std::memory_order_relaxed);
+  }
+  /// Blocks the evictor swapped to disk in the spill stage.
+  uint64_t spilled_blocks() const {
+    return spills_.load(std::memory_order_relaxed);
+  }
   uint64_t heap_capacity_bytes() const {
     return heap_capacity_.load(std::memory_order_relaxed);
   }
@@ -246,6 +274,8 @@ class ExecutorMemoryManager {
   std::atomic<uint64_t> storage_peak_{0};
   std::atomic<uint64_t> borrowed_peak_{0};
   std::atomic<uint64_t> denied_{0};
+  std::atomic<uint64_t> demotions_{0};
+  std::atomic<uint64_t> spills_{0};
   std::atomic<uint64_t> heap_capacity_{0};
   std::atomic<uint64_t> heap_used_{0};
   std::atomic<uint64_t> heap_old_used_{0};

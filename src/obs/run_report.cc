@@ -66,6 +66,26 @@ std::string ToJson(const RunReport& report) {
              ", \"pause_p99_ms\": " + JsonNumber(e.pause_p99_ms) +
              ", \"reclaim_p99_ms\": " + JsonNumber(e.reclaim_p99_ms) + "}";
     }
+    if (run.tier.present) {
+      const TierAgg& t = run.tier;
+      out += ",\n     \"tier\": {\"t0_resident_bytes\": " +
+             std::to_string(t.t0_resident_bytes) +
+             ", \"t1_resident_bytes\": " +
+             std::to_string(t.t1_resident_bytes) +
+             ", \"t2_resident_bytes\": " +
+             std::to_string(t.t2_resident_bytes) +
+             ", \"t1_peak_bytes\": " + std::to_string(t.t1_peak_bytes) +
+             ", \"t0_hits\": " + std::to_string(t.t0_hits) +
+             ", \"t1_hits\": " + std::to_string(t.t1_hits) +
+             ", \"t2_hits\": " + std::to_string(t.t2_hits) +
+             ", \"misses\": " + std::to_string(t.misses) +
+             ", \"demotes_to_t1\": " + std::to_string(t.demotes_to_t1) +
+             ", \"demotes_to_t2\": " + std::to_string(t.demotes_to_t2) +
+             ", \"promotes\": " + std::to_string(t.promotes) +
+             ", \"admit_rejects\": " + std::to_string(t.admit_rejects) +
+             ", \"promote_p50_ms\": " + JsonNumber(t.promote_p50_ms) +
+             ", \"promote_p99_ms\": " + JsonNumber(t.promote_p99_ms) + "}";
+    }
     out += "}";
   }
   out += "\n  ]\n}\n";
@@ -136,6 +156,31 @@ bool FromJson(std::string_view json, RunReport* out, std::string* err) {
       run.epochs.pause_p99_ms = epochs->Num("pause_p99_ms");
       run.epochs.reclaim_p99_ms = epochs->Num("reclaim_p99_ms");
     }
+    if (const JsonValue* tier = jr.Find("tier");
+        tier != nullptr && tier->is(JsonValue::Type::kObject)) {
+      run.tier.present = true;
+      run.tier.t0_resident_bytes =
+          static_cast<uint64_t>(tier->Num("t0_resident_bytes"));
+      run.tier.t1_resident_bytes =
+          static_cast<uint64_t>(tier->Num("t1_resident_bytes"));
+      run.tier.t2_resident_bytes =
+          static_cast<uint64_t>(tier->Num("t2_resident_bytes"));
+      run.tier.t1_peak_bytes =
+          static_cast<uint64_t>(tier->Num("t1_peak_bytes"));
+      run.tier.t0_hits = static_cast<uint64_t>(tier->Num("t0_hits"));
+      run.tier.t1_hits = static_cast<uint64_t>(tier->Num("t1_hits"));
+      run.tier.t2_hits = static_cast<uint64_t>(tier->Num("t2_hits"));
+      run.tier.misses = static_cast<uint64_t>(tier->Num("misses"));
+      run.tier.demotes_to_t1 =
+          static_cast<uint64_t>(tier->Num("demotes_to_t1"));
+      run.tier.demotes_to_t2 =
+          static_cast<uint64_t>(tier->Num("demotes_to_t2"));
+      run.tier.promotes = static_cast<uint64_t>(tier->Num("promotes"));
+      run.tier.admit_rejects =
+          static_cast<uint64_t>(tier->Num("admit_rejects"));
+      run.tier.promote_p50_ms = tier->Num("promote_p50_ms");
+      run.tier.promote_p99_ms = tier->Num("promote_p99_ms");
+    }
     out->runs.push_back(std::move(run));
   }
   return true;
@@ -188,6 +233,16 @@ bool Validate(const RunReport& report, std::string* err) {
         return fail("epoch pause p50 > p99 in '" + run.label + "'");
       }
     }
+    if (run.tier.present) {
+      const TierAgg& t = run.tier;
+      if (!std::isfinite(t.promote_p50_ms) || t.promote_p50_ms < 0 ||
+          !std::isfinite(t.promote_p99_ms) || t.promote_p99_ms < 0) {
+        return fail("bad tier promote aggregate in '" + run.label + "'");
+      }
+      if (t.promote_p50_ms > t.promote_p99_ms) {
+        return fail("tier promote p50 > p99 in '" + run.label + "'");
+      }
+    }
   }
   return true;
 }
@@ -224,6 +279,23 @@ bool ReportsEqual(const RunReport& a, const RunReport& b) {
         ea.pause_p50_ms != eb.pause_p50_ms ||
         ea.pause_p99_ms != eb.pause_p99_ms ||
         ea.reclaim_p99_ms != eb.reclaim_p99_ms) {
+      return false;
+    }
+    const TierAgg& ta = ra.tier;
+    const TierAgg& tb = rb.tier;
+    if (ta.present != tb.present ||
+        ta.t0_resident_bytes != tb.t0_resident_bytes ||
+        ta.t1_resident_bytes != tb.t1_resident_bytes ||
+        ta.t2_resident_bytes != tb.t2_resident_bytes ||
+        ta.t1_peak_bytes != tb.t1_peak_bytes ||
+        ta.t0_hits != tb.t0_hits || ta.t1_hits != tb.t1_hits ||
+        ta.t2_hits != tb.t2_hits || ta.misses != tb.misses ||
+        ta.demotes_to_t1 != tb.demotes_to_t1 ||
+        ta.demotes_to_t2 != tb.demotes_to_t2 ||
+        ta.promotes != tb.promotes ||
+        ta.admit_rejects != tb.admit_rejects ||
+        ta.promote_p50_ms != tb.promote_p50_ms ||
+        ta.promote_p99_ms != tb.promote_p99_ms) {
       return false;
     }
   }
@@ -338,6 +410,51 @@ DiffResult DiffReports(const RunReport& baseline, const RunReport& current,
         pause("pause_p50_ms", be.pause_p50_ms, ce.pause_p50_ms);
         pause("pause_p99_ms", be.pause_p99_ms, ce.pause_p99_ms);
         pause("reclaim_p99_ms", be.reclaim_p99_ms, ce.reclaim_p99_ms);
+      }
+    }
+    if (base_run.tier.present) {
+      const TierAgg& bt = base_run.tier;
+      const TierAgg& ct = cur_run->tier;
+      if (!ct.present) {
+        fail(base_run.label + ": tier aggregates missing from current "
+             "report");
+        continue;
+      }
+      // Deterministic tier counters: bit-compare.
+      auto counter = [&](const char* name, uint64_t bv, uint64_t cv) {
+        if (bv != cv) {
+          fail(base_run.label + ": tier counter '" + std::string(name) +
+               "' changed " + std::to_string(bv) + " -> " +
+               std::to_string(cv));
+        }
+      };
+      counter("t0_resident_bytes", bt.t0_resident_bytes,
+              ct.t0_resident_bytes);
+      counter("t1_resident_bytes", bt.t1_resident_bytes,
+              ct.t1_resident_bytes);
+      counter("t2_resident_bytes", bt.t2_resident_bytes,
+              ct.t2_resident_bytes);
+      counter("t1_peak_bytes", bt.t1_peak_bytes, ct.t1_peak_bytes);
+      counter("t0_hits", bt.t0_hits, ct.t0_hits);
+      counter("t1_hits", bt.t1_hits, ct.t1_hits);
+      counter("t2_hits", bt.t2_hits, ct.t2_hits);
+      counter("misses", bt.misses, ct.misses);
+      counter("demotes_to_t1", bt.demotes_to_t1, ct.demotes_to_t1);
+      counter("demotes_to_t2", bt.demotes_to_t2, ct.demotes_to_t2);
+      counter("promotes", bt.promotes, ct.promotes);
+      counter("admit_rejects", bt.admit_rejects, ct.admit_rejects);
+      // Promote percentiles are wall times: regression threshold only.
+      auto promote = [&](const char* name, double bv, double cv) {
+        if (cv > bv * (1.0 + opt.time_threshold) &&
+            cv - bv > opt.time_floor_ms) {
+          fail(base_run.label + ": tier promote '" + std::string(name) +
+               "' regressed " + JsonNumber(bv) + " -> " + JsonNumber(cv) +
+               " ms");
+        }
+      };
+      if (!opt.exact_only) {
+        promote("promote_p50_ms", bt.promote_p50_ms, ct.promote_p50_ms);
+        promote("promote_p99_ms", bt.promote_p99_ms, ct.promote_p99_ms);
       }
     }
   }

@@ -34,24 +34,49 @@ struct EpochAgg {
   double reclaim_p99_ms = 0;
 };
 
+/// Storage-tier plane of a run with the serialized off-heap tier enabled
+/// (schema v3). Absent (`present == false`) when storage_tiers=2 (the
+/// legacy heap→disk store). Resident bytes and hit/demote/promote counters
+/// are deterministic simulation results and are bit-compared by
+/// report_diff; the promote percentiles are wall times and are
+/// threshold-compared.
+struct TierAgg {
+  bool present = false;
+  uint64_t t0_resident_bytes = 0;
+  uint64_t t1_resident_bytes = 0;
+  uint64_t t2_resident_bytes = 0;
+  uint64_t t1_peak_bytes = 0;
+  uint64_t t0_hits = 0;
+  uint64_t t1_hits = 0;
+  uint64_t t2_hits = 0;
+  uint64_t misses = 0;
+  uint64_t demotes_to_t1 = 0;
+  uint64_t demotes_to_t2 = 0;
+  uint64_t promotes = 0;
+  uint64_t admit_rejects = 0;
+  double promote_p50_ms = 0;
+  double promote_p99_ms = 0;
+};
+
 /// One workload run (one mode / configuration) inside a bench binary.
 struct ReportRun {
   std::string label;  // e.g. "LR-large/Deca"
   std::vector<ReportMetric> metrics;
   std::vector<SpanAgg> spans;  // per-(cat,name) trace aggregates
   EpochAgg epochs;             // streaming runs only
+  TierAgg tier;                // tiered-store runs only
 
   const ReportMetric* Find(std::string_view name) const;
   void Add(std::string_view name, double value, bool exact);
 };
 
 /// The machine-readable result of one bench binary execution
-/// (`--json-out=` / `DECA_JSON_OUT`). Schema "deca-run-report" v2
-/// (v2 added the optional per-run "epochs" aggregate; v1 reports are
-/// still parsed).
+/// (`--json-out=` / `DECA_JSON_OUT`). Schema "deca-run-report" v3
+/// (v2 added the optional per-run "epochs" aggregate, v3 the optional
+/// per-run "tier" aggregate; older reports are still parsed).
 struct RunReport {
   static constexpr const char* kSchema = "deca-run-report";
-  static constexpr int kVersion = 2;
+  static constexpr int kVersion = 3;
   static constexpr int kMinVersion = 1;
 
   std::string bench;  // binary name, e.g. "fig11_breakdown"
@@ -83,7 +108,8 @@ struct DiffOptions {
   /// Exact metrics compare with this relative epsilon (doubles that went
   /// through decimal text).
   double exact_rel_eps = 1e-9;
-  /// Compare exact metrics and deterministic epoch counters only; skip
+  /// Compare exact metrics and deterministic epoch/tier counters only;
+  /// skip
   /// wall-time metrics and trace spans entirely. Used to diff a
   /// multi-process run against an in-process baseline: the determinism
   /// contract covers counters, not timings, and executor daemons do not

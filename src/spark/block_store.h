@@ -6,33 +6,26 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "common/histogram.h"
 #include "core/page.h"
 #include "jvm/heap.h"
 #include "memory/memory_manager.h"
 #include "spark/config.h"
 #include "spark/metrics.h"
 #include "spark/record_ops.h"
+#include "spark/tier_backend.h"
 
 namespace deca::spark {
 
-/// Identifies one cached block: (rdd id, partition).
-struct BlockKey {
-  int rdd_id = 0;
-  int partition = 0;
-
-  bool operator<(const BlockKey& o) const {
-    return rdd_id != o.rdd_id ? rdd_id < o.rdd_id : partition < o.partition;
-  }
-  bool operator==(const BlockKey& o) const {
-    return rdd_id == o.rdd_id && partition == o.partition;
-  }
-};
-
-/// A materialized cache block as returned to tasks. Exactly one
-/// representation is set. `temporary` marks data streamed back from a swap
-/// file (not re-inserted into the store).
+/// A materialized cache block as returned to tasks. At most one heap
+/// representation is set; `packed` carries the serialized off-heap bytes
+/// when the block was served lazily from T1/T2 without materializing
+/// (RecordCursor / RawPageCursor walk it). `temporary` marks data
+/// materialized per-access from a lower tier (not re-inserted into the
+/// store).
 struct LoadedBlock {
   StorageLevel level = StorageLevel::kMemoryObjects;
   uint32_t count = 0;
@@ -42,25 +35,41 @@ struct LoadedBlock {
   jvm::ObjRef serialized = jvm::kNullRef;
   /// kDecaPages: the block's page group.
   std::shared_ptr<core::PageGroup> pages;
+  /// Packed T1/T2 payload (lazy reads): Kryo records, the serialized
+  /// byte run, or raw page bytes depending on `level`.
+  std::shared_ptr<const std::vector<uint8_t>> packed;
   bool temporary = false;
 
   bool valid() const {
     return object_array != jvm::kNullRef || serialized != jvm::kNullRef ||
-           pages != nullptr;
+           pages != nullptr || packed != nullptr;
   }
 };
 
-/// Per-executor cache manager: stores blocks at the configured storage
-/// level, charging the executor's unified memory manager's storage pool
-/// and evicting least-recently-used blocks to swap files on disk (Spark's
-/// MEMORY_AND_DISK) when the pool is over its limit. Deca page-group
-/// blocks are written to disk as raw page bytes — no serialization (paper
-/// Appendix C). Object/serialized blocks hold an explicit storage
-/// reservation; page-group blocks are re-tagged to the storage pool, so
-/// their footprint moves pools instead of being charged twice.
+/// Per-executor cache manager: a three-tier block store with a per-block
+/// tier state machine.
 ///
-/// Registered as a GC root provider: in-memory object/serialized blocks
-/// pin their managed arrays; page groups pin their own pages.
+///   T0  heap blocks — deserialized Object[]s, serialized byte[]s, or
+///       Deca page groups, exactly the pre-tier representations;
+///   T1  compact serialized off-heap buffers (storage_tiers >= 3 only):
+///       charged to the storage pool, invisible to GC root scans;
+///   T2  swap files on disk.
+///
+/// Demotion (T0 -> T1 -> T2) is driven by the memory manager's two-stage
+/// eviction callbacks and the put-path budget loop: blocks compact into
+/// T1 first and cascade to disk only when T1 is full (t1_fraction) or
+/// demotion alone cannot satisfy the request. Promotion is lazy: a Get on
+/// a T1/T2 block materializes only that block and re-admits it one tier
+/// up under the configured AdmitPolicy; rejected accesses are served as
+/// temporary views. With storage_tiers == 2 (default) the ladder
+/// degenerates to the legacy heap <-> disk store, bit-identical to every
+/// prior release. Kryo-serialized blocks hold an explicit storage
+/// reservation; page-group blocks are re-tagged to the storage pool, so
+/// footprints move pools instead of being charged twice.
+///
+/// Registered as a GC root provider: T0 object/serialized blocks pin
+/// their managed arrays; page groups pin their own pages; T1/T2 blocks
+/// contribute nothing to root scans.
 ///
 /// Concurrency contract (the src/exec runtime): a cache manager belongs
 /// to one executor, and every Put/Get/Evict runs either on that
@@ -75,7 +84,7 @@ class CacheManager : public jvm::RootProvider {
   ~CacheManager() override;
 
   /// Associates the record operations used to (de)serialize blocks of
-  /// `rdd_id` during swap.
+  /// `rdd_id` during demotion/swap.
   void RegisterOps(int rdd_id, const RecordOps* ops);
 
   /// Caches a block of managed records (level kMemoryObjects or, when the
@@ -88,17 +97,25 @@ class CacheManager : public jvm::RootProvider {
   void PutPages(BlockKey key, std::shared_ptr<core::PageGroup> pages,
                 uint32_t count, TaskMetrics* metrics);
 
-  /// Fetches a block; reloads from the swap file if it was evicted
-  /// (charging deserialization/spill time to `metrics`). Returns an
-  /// invalid block if the key was never cached.
+  /// Fetches a block, materializing a heap representation. T1/T2 blocks
+  /// are promoted one tier when the admission policy admits them
+  /// (re-inserted, non-temporary); otherwise the materialization is
+  /// temporary, rebuilt on every access. Returns an invalid block if the
+  /// key was never cached.
   LoadedBlock Get(BlockKey key, TaskMetrics* metrics);
 
-  /// Drops a block entirely (unpersist).
+  /// Like Get, but a T1/T2 block the admission policy rejects is returned
+  /// as its packed payload (`LoadedBlock::packed`) with no heap
+  /// materialization at all — point queries then deserialize only the
+  /// records they touch via RecordCursor / RawPageCursor.
+  LoadedBlock GetLazy(BlockKey key, TaskMetrics* metrics);
+
+  /// Drops a block entirely (unpersist), whatever tier it is in.
   void Evict(BlockKey key);
 
-  /// OOM degradation hook: swaps LRU in-memory blocks to disk until about
-  /// `need_bytes` of managed memory has been unpinned. Returns the number
-  /// of blocks evicted (0 when nothing was in memory).
+  /// OOM degradation hook (EvictStage::kSpill arm): swaps LRU blocks to
+  /// disk until about `need_bytes` of memory has been unpinned. Returns
+  /// the number of blocks evicted (0 when nothing was in memory).
   uint64_t EvictUnderPressure(uint64_t need_bytes);
 
   /// Execution-pool borrowing hook: same LRU swap-out as
@@ -107,17 +124,32 @@ class CacheManager : public jvm::RootProvider {
   /// clamps `need_bytes` to what the storage floor permits.
   uint64_t EvictForExecution(uint64_t need_bytes);
 
-  /// Simulated executor crash: drops every block (memory and swap files)
-  /// and zeroes the byte counters. Lost blocks are recomputed from lineage
-  /// on the next access.
+  /// Demote stage (EvictStage::kDemote): compacts LRU T0 heap blocks
+  /// into T1 off-heap buffers until about `need_bytes` of heap memory is
+  /// unpinned. No-op (returns 0) when storage_tiers < 3. `for_oom`
+  /// counts the demotions as pressure evictions.
+  uint64_t DemoteUnderPressure(uint64_t need_bytes, bool for_oom);
+
+  /// Simulated executor crash: drops every block (all tiers, memory and
+  /// swap files) and zeroes the byte counters. Lost blocks are recomputed
+  /// from lineage on the next access.
   void DropAllForWipe();
 
-  /// Blocks swapped out by the OOM degradation ladder.
+  /// Accounting invariants, asserted at every stage barrier: the byte
+  /// counters match the per-entry state, and the storage-pool
+  /// reservations held by T0/T1 blocks sum to exactly the manager's
+  /// storage_reserved() — a `temporary` block that charged the pool (a
+  /// double charge; its entry still holds the canonical grant) breaks
+  /// this identity immediately. Aborts on violation.
+  void VerifyAccounting() const;
+
+  /// Blocks demoted/swapped out by the OOM degradation ladder.
   uint64_t pressure_evictions() const {
     return pressure_evictions_.load(std::memory_order_relaxed);
   }
 
-  /// Total bytes of blocks currently held in memory.
+  /// Total bytes of blocks currently held in memory (T0 heap estimate
+  /// plus T1 off-heap payload).
   uint64_t memory_bytes() const {
     return memory_bytes_.load(std::memory_order_relaxed);
   }
@@ -132,23 +164,50 @@ class CacheManager : public jvm::RootProvider {
   uint64_t swap_out_count() const {
     return swap_out_count_.load(std::memory_order_relaxed);
   }
+  uint64_t t1_resident_bytes() const { return t1_.resident_bytes(); }
+  uint64_t demote_t1_count() const {
+    return demote_t1_count_.load(std::memory_order_relaxed);
+  }
+  uint64_t promote_count() const {
+    return promote_count_.load(std::memory_order_relaxed);
+  }
+  uint64_t admit_reject_count() const {
+    return admit_rejects_.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot of the tier plane (driver reads after stage barriers).
+  TierCounters tier_counters() const;
 
   void VisitRoots(const std::function<void(jvm::ObjRef*)>& fn) override;
 
  private:
+  /// Where a block currently lives. Legal transitions: T0 -> T1 (demote,
+  /// storage_tiers >= 3), T0 -> T2 (legacy spill), T1 -> T2 (cascade),
+  /// T1 -> T0 and T2 -> T1 (lazy promote under the admission policy).
+  enum class Tier : uint8_t { kT0, kT1, kT2 };
+
   struct Entry {
     StorageLevel level;
+    Tier tier = Tier::kT0;
     uint32_t count = 0;
-    jvm::ObjRef data = jvm::kNullRef;  // Object[] or byte[] when in memory
-    std::shared_ptr<core::PageGroup> pages;
-    uint64_t bytes = 0;  // in-memory footprint estimate
-    // Storage-pool grant for object/serialized blocks (page-group blocks
-    // charge via their group's pool tag instead). Released on swap-out
+    jvm::ObjRef data = jvm::kNullRef;  // T0: Object[] or byte[]
+    std::shared_ptr<core::PageGroup> pages;  // T0: kDecaPages
+    uint64_t bytes = 0;  // T0 in-memory footprint estimate
+    // Storage-pool grant for T0 object/serialized blocks (page-group
+    // blocks charge via their group's pool tag; T1 payloads via the
+    // OffHeapTier's per-slot reservation). Released on demotion/swap-out
     // and on entry destruction.
     memory::MemoryReservation reservation;
-    bool on_disk = false;
-    std::string disk_path;
+    uint64_t packed_bytes = 0;   // payload size while in T1/T2
+    uint64_t charged_bytes = 0;  // amount added to the tier byte counter
+    uint64_t accesses_since_demote = 0;  // drives the admission policy
     uint64_t lru_tick = 0;
+    // True while a tier transition for this entry is in flight. Unpack
+    // allocates on the managed heap, which can trigger a collection and
+    // re-enter the eviction paths (OOM hooks, pool borrowing); a pinned
+    // entry is skipped by every victim scan so it cannot be spilled out
+    // from under its own promotion (a double meter subtraction).
+    bool pinned = false;
   };
 
   /// Serializes a managed Object[] block into `out` (Kryo-style).
@@ -158,15 +217,49 @@ class CacheManager : public jvm::RootProvider {
                                  size_t size, uint32_t count,
                                  TaskMetrics* metrics);
 
-  /// Evicts LRU blocks to disk while the storage pool is over its limit.
-  void EnforceBudget(TaskMetrics* metrics);
+  /// Packs a T0 entry's heap representation into the tier currency
+  /// (Kryo records / serialized run / raw page bytes).
+  PackedBlock Pack(BlockKey key, const Entry& e, TaskMetrics* metrics);
+  /// Materializes a heap representation from packed payload into
+  /// `*block` (object_array / serialized / pages per level).
+  void Unpack(BlockKey key, const PackedBlock& packed, LoadedBlock* block,
+              TaskMetrics* metrics);
+
+  /// T0 -> T1: packs the heap representation into an off-heap buffer
+  /// (cascading LRU T1 blocks to disk when over the t1_fraction cap) and
+  /// releases the heap copy.
+  void DemoteToT1(BlockKey key, Entry* e, TaskMetrics* metrics);
+  /// T0/T1 -> T2: writes the payload to the block's swap file.
+  void SpillToT2(BlockKey key, Entry* e, TaskMetrics* metrics);
+  /// T1 -> T0: re-admits a heap representation built from `packed`.
+  void PromoteToT0(BlockKey key, Entry* e, const PackedBlock& packed,
+                   LoadedBlock* block, TaskMetrics* metrics);
+  /// T2 -> T1: re-admits the packed payload off-heap (storage_tiers >= 3).
+  void PromoteToT1(BlockKey key, Entry* e, PackedBlock packed,
+                   TaskMetrics* metrics);
+
+  /// The admission policy's verdict for an access to a demoted block
+  /// (`accesses` counts accesses since demotion, this one included).
+  bool ShouldAdmit(uint64_t accesses) const;
+  /// Makes room in T1 for `incoming` payload bytes by cascading LRU T1
+  /// blocks to disk while over the t1_fraction cap.
+  void EnsureT1Room(uint64_t incoming, TaskMetrics* metrics);
+
+  /// Sheds blocks while the storage pool is over its limit: demote
+  /// first (storage_tiers >= 3), spill once nothing is left to demote.
+  /// `exclude` protects a just-promoted block from immediately becoming
+  /// its own eviction victim.
+  void EnforceBudget(TaskMetrics* metrics, const BlockKey* exclude = nullptr);
   /// Swaps out the least-recently-used in-memory block; false if none.
-  bool SwapOutLru(TaskMetrics* metrics);
+  bool SwapOutLru(TaskMetrics* metrics, const BlockKey* exclude);
+  /// Demotes the least-recently-used T0 block to T1, returning its heap
+  /// footprint estimate (0 if no T0 block was left).
+  uint64_t DemoteLru(TaskMetrics* metrics, const BlockKey* exclude);
   /// LRU swap-out until about `need_bytes` are unpinned; returns blocks
   /// evicted.
   uint64_t EvictBytes(uint64_t need_bytes);
-  void SwapOut(BlockKey key, Entry* e, TaskMetrics* metrics);
-  std::string SwapPath(BlockKey key) const;
+  /// Both-stage shared body of Get/GetLazy.
+  LoadedBlock GetInternal(BlockKey key, bool lazy, TaskMetrics* metrics);
 
   uint64_t EstimateObjectBlockBytes(const RecordOps* ops, jvm::ObjRef records,
                                     uint32_t count) const;
@@ -175,13 +268,26 @@ class CacheManager : public jvm::RootProvider {
   const SparkConfig* cfg_;
   memory::ExecutorMemoryManager* mm_;  // may be null (standalone tests)
   int executor_id_;
-  std::map<BlockKey, Entry> blocks_;
+  uint64_t t1_cap_bytes_ = 0;
+  std::unordered_map<BlockKey, Entry, BlockKeyHash> blocks_;
   std::map<int, const RecordOps*> ops_;
+  OffHeapTier t1_;
+  DiskTier t2_;
   std::atomic<uint64_t> memory_bytes_{0};
   std::atomic<uint64_t> disk_bytes_{0};
   std::atomic<uint64_t> peak_memory_bytes_{0};
   std::atomic<uint64_t> swap_out_count_{0};
   std::atomic<uint64_t> pressure_evictions_{0};
+  std::atomic<uint64_t> demote_t1_count_{0};
+  std::atomic<uint64_t> promote_count_{0};
+  std::atomic<uint64_t> admit_rejects_{0};
+  std::atomic<uint64_t> t0_hits_{0};
+  std::atomic<uint64_t> t1_hits_{0};
+  std::atomic<uint64_t> t2_hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  // Mutator-thread only; the driver reads the derived percentiles via
+  // tier_counters() after stage barriers (synchronized by the barrier).
+  Histogram promote_ms_;
   uint64_t lru_clock_ = 0;
 };
 

@@ -23,6 +23,21 @@ enum class StorageLevel {
 
 const char* StorageLevelName(StorageLevel s);
 
+/// Re-admission policy for blocks served from the serialized off-heap
+/// tier (T1) or disk (T2). Decisions are driven purely by per-block
+/// access counts, so they are deterministic.
+enum class AdmitPolicy {
+  /// Every access promotes the block back up one tier.
+  kAlways,
+  /// Promote on the second access after demotion: a one-shot scan cannot
+  /// thrash the resident working set, a re-used block earns its way back.
+  kOnSecondAccess,
+  /// Never promote; demoted blocks are served as temporary views forever.
+  kNever,
+};
+
+const char* AdmitPolicyName(AdmitPolicy p);
+
 /// How shuffle chunks travel from map tasks to reducers.
 enum class ShuffleTransport {
   /// Direct in-memory deposit/fetch (the original single-process path).
@@ -85,6 +100,23 @@ struct SparkConfig {
 
   /// Size of Deca's logical memory pages.
   uint32_t deca_page_bytes = 64u << 10;
+
+  /// Depth of the block-store tier ladder. 2 (default) is the legacy
+  /// heap <-> disk store, bit-identical to every prior release. 3 enables
+  /// the serialized off-heap middle tier (T1): eviction demotes
+  /// T0 heap blocks into compact contiguous buffers — charged to the
+  /// storage pool but invisible to GC root scans — before anything is
+  /// spilled to disk, and Gets re-admit under `admit_policy`.
+  int storage_tiers = 2;
+  /// Share of the unified executor budget the T1 tier may occupy. When a
+  /// demotion would push T1 residency past the cap, LRU T1 blocks cascade
+  /// to disk first (the T1 -> T2 edge of the state machine).
+  double t1_fraction = 0.5;
+  /// Re-admission policy for Gets that land on T1/T2 blocks.
+  AdmitPolicy admit_policy = AdmitPolicy::kOnSecondAccess;
+
+  /// True when the serialized off-heap tier is active.
+  bool t1_enabled() const { return storage_tiers >= 3; }
 
   /// Shuffle transport seam (src/net). kLocal preserves the original
   /// in-memory path bit for bit; kLoopback/kTcp route every chunk through

@@ -353,6 +353,7 @@ ExecutorSnapshot SparkContext::BuildLocalSnapshot() const {
   s.peak_cached_bytes = e->cache()->peak_memory_bytes();
   s.swapped_bytes = e->cache()->disk_bytes();
   s.pressure_evictions = e->cache()->pressure_evictions();
+  s.tier = e->cache()->tier_counters();
   s.memory = e->memory()->Snapshot();
   const int n = shuffle_->num_shuffles();
   s.shuffle_bytes.resize(static_cast<size_t>(n));
@@ -735,6 +736,18 @@ uint64_t SparkContext::TotalPressureEvictions() const {
   uint64_t total = 0;
   for (const auto& e : executors_) {
     total += e->cache()->pressure_evictions();
+  }
+  return total;
+}
+
+TierCounters SparkContext::TotalTierCounters() const {
+  TierCounters total;
+  if (config_.runtime.role == DistRole::kDriver) {
+    for (const auto& s : snapshots_) total.Add(s.tier);
+    return total;
+  }
+  for (const auto& e : executors_) {
+    total.Add(e->cache()->tier_counters());
   }
   return total;
 }

@@ -197,6 +197,10 @@ class SparkContext {
   uint64_t SwappedBytes() const;
   /// Cache blocks swapped out by the OOM degradation ladder.
   uint64_t TotalPressureEvictions() const;
+  /// Block-store tier plane summed across executors (per-tier residency,
+  /// hit/miss counts, demote/promote transitions). Role-aware like the
+  /// other getters.
+  TierCounters TotalTierCounters() const;
   /// Allocations rescued by eviction-under-pressure + full GC + retry.
   uint64_t TotalOomRecoveries() const;
   /// Unified memory-manager plane, summed across executors (peaks are

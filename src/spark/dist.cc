@@ -22,6 +22,20 @@ void ExecutorSnapshot::Encode(ByteWriter* w) const {
   w->WriteVarU64(peak_cached_bytes);
   w->WriteVarU64(swapped_bytes);
   w->WriteVarU64(pressure_evictions);
+  w->WriteVarU64(tier.t0_resident_bytes);
+  w->WriteVarU64(tier.t1_resident_bytes);
+  w->WriteVarU64(tier.t2_resident_bytes);
+  w->WriteVarU64(tier.t1_peak_bytes);
+  w->WriteVarU64(tier.t0_hits);
+  w->WriteVarU64(tier.t1_hits);
+  w->WriteVarU64(tier.t2_hits);
+  w->WriteVarU64(tier.misses);
+  w->WriteVarU64(tier.demotes_to_t1);
+  w->WriteVarU64(tier.demotes_to_t2);
+  w->WriteVarU64(tier.promotes);
+  w->WriteVarU64(tier.admit_rejects);
+  w->Write<double>(tier.promote_p50_ms);
+  w->Write<double>(tier.promote_p99_ms);
   w->WriteVarU64(memory.total_bytes);
   w->WriteVarU64(memory.storage_floor_bytes);
   w->WriteVarU64(memory.exec_used);
@@ -30,6 +44,9 @@ void ExecutorSnapshot::Encode(ByteWriter* w) const {
   w->WriteVarU64(memory.storage_peak);
   w->WriteVarU64(memory.borrowed_peak);
   w->WriteVarU64(memory.denied_reservations);
+  w->WriteVarU64(memory.storage_reserved);
+  w->WriteVarU64(memory.demoted_blocks);
+  w->WriteVarU64(memory.spilled_blocks);
   w->WriteVarU64(memory.page_bytes);
   w->WriteVarU64(memory.heap_capacity);
   w->WriteVarU64(memory.heap_used);
@@ -49,6 +66,20 @@ ExecutorSnapshot ExecutorSnapshot::Decode(ByteReader* r) {
   s.peak_cached_bytes = r->ReadVarU64();
   s.swapped_bytes = r->ReadVarU64();
   s.pressure_evictions = r->ReadVarU64();
+  s.tier.t0_resident_bytes = r->ReadVarU64();
+  s.tier.t1_resident_bytes = r->ReadVarU64();
+  s.tier.t2_resident_bytes = r->ReadVarU64();
+  s.tier.t1_peak_bytes = r->ReadVarU64();
+  s.tier.t0_hits = r->ReadVarU64();
+  s.tier.t1_hits = r->ReadVarU64();
+  s.tier.t2_hits = r->ReadVarU64();
+  s.tier.misses = r->ReadVarU64();
+  s.tier.demotes_to_t1 = r->ReadVarU64();
+  s.tier.demotes_to_t2 = r->ReadVarU64();
+  s.tier.promotes = r->ReadVarU64();
+  s.tier.admit_rejects = r->ReadVarU64();
+  s.tier.promote_p50_ms = r->Read<double>();
+  s.tier.promote_p99_ms = r->Read<double>();
   s.memory.total_bytes = r->ReadVarU64();
   s.memory.storage_floor_bytes = r->ReadVarU64();
   s.memory.exec_used = r->ReadVarU64();
@@ -57,6 +88,9 @@ ExecutorSnapshot ExecutorSnapshot::Decode(ByteReader* r) {
   s.memory.storage_peak = r->ReadVarU64();
   s.memory.borrowed_peak = r->ReadVarU64();
   s.memory.denied_reservations = r->ReadVarU64();
+  s.memory.storage_reserved = r->ReadVarU64();
+  s.memory.demoted_blocks = r->ReadVarU64();
+  s.memory.spilled_blocks = r->ReadVarU64();
   s.memory.page_bytes = r->ReadVarU64();
   s.memory.heap_capacity = r->ReadVarU64();
   s.memory.heap_used = r->ReadVarU64();

@@ -8,6 +8,7 @@
 #include "common/bytes.h"
 #include "exec/remote_task.h"
 #include "memory/memory_manager.h"
+#include "spark/metrics.h"
 
 namespace deca::net {
 class Transport;
@@ -95,6 +96,8 @@ struct ExecutorSnapshot {
   uint64_t peak_cached_bytes = 0;
   uint64_t swapped_bytes = 0;
   uint64_t pressure_evictions = 0;
+  /// Block-store tier plane (per-tier residency, hits, transitions).
+  TierCounters tier;
   memory::MemoryStats memory;
   /// Local shuffle-payload bytes per shuffle id (this executor's
   /// deposits only; the driver sums across executors).

@@ -14,11 +14,19 @@ Executor::Executor(int id, const SparkConfig& config,
   cache_ = std::make_unique<CacheManager>(heap_.get(), &config, id);
   // Storage eviction is the manager's lever: execution-pool borrowing
   // sheds blocks down to the storage floor; the heap's OOM ladder digs
-  // without floor protection (and counts as a pressure eviction).
-  memory_->SetStorageEvictor([this](uint64_t need, bool for_oom) {
-    return for_oom ? cache_->EvictUnderPressure(need)
-                   : cache_->EvictForExecution(need);
-  });
+  // without floor protection (and counts as a pressure eviction). Both
+  // run the two-stage ladder: demote T0 heap blocks into the serialized
+  // off-heap tier first (a no-op with storage_tiers=2), spill to disk
+  // for whatever demotion could not shed.
+  memory_->SetStorageEvictor(
+      [this](uint64_t need, memory::ExecutorMemoryManager::EvictStage stage,
+             bool for_oom) {
+        if (stage == memory::ExecutorMemoryManager::EvictStage::kDemote) {
+          return cache_->DemoteUnderPressure(need, for_oom);
+        }
+        return for_oom ? cache_->EvictUnderPressure(need)
+                       : cache_->EvictForExecution(need);
+      });
   // OOM degradation: a failed allocation asks the manager for relief
   // (which evicts cached blocks to disk), then surfaces as a retryable
   // exception instead of aborting the process.
@@ -39,6 +47,7 @@ void Executor::Wipe() {
 void Executor::VerifyMemoryAccounting() {
   heap_->ReportOccupancyNow();
   memory_->VerifyAccounting(heap_->capacity_bytes());
+  cache_->VerifyAccounting();
 }
 
 }  // namespace deca::spark

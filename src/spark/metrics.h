@@ -53,6 +53,46 @@ struct TaskMetrics {
   }
 };
 
+/// Tier-plane counters of one block store (or summed across a job): per
+/// tier resident bytes and hits, tier-transition counts, and the lazy
+/// promotion latency percentiles. The byte/hit/transition counters are
+/// deterministic simulation results; the percentiles are wall times.
+struct TierCounters {
+  uint64_t t0_resident_bytes = 0;  // heap blocks (objects/byte[]/pages)
+  uint64_t t1_resident_bytes = 0;  // serialized off-heap buffers
+  uint64_t t2_resident_bytes = 0;  // swap-file payload bytes
+  uint64_t t1_peak_bytes = 0;
+  uint64_t t0_hits = 0;
+  uint64_t t1_hits = 0;
+  uint64_t t2_hits = 0;
+  uint64_t misses = 0;
+  uint64_t demotes_to_t1 = 0;  // T0 -> T1 compactions
+  uint64_t demotes_to_t2 = 0;  // spills to disk (from T0 or T1)
+  uint64_t promotes = 0;       // re-admissions (T1 -> T0, T2 -> T1)
+  uint64_t admit_rejects = 0;  // lazy serves the admission policy denied
+  double promote_p50_ms = 0;
+  double promote_p99_ms = 0;
+
+  /// Accumulates `o` (counters sum; latency percentiles take the max —
+  /// they do not compose across executors).
+  void Add(const TierCounters& o) {
+    t0_resident_bytes += o.t0_resident_bytes;
+    t1_resident_bytes += o.t1_resident_bytes;
+    t2_resident_bytes += o.t2_resident_bytes;
+    t1_peak_bytes += o.t1_peak_bytes;
+    t0_hits += o.t0_hits;
+    t1_hits += o.t1_hits;
+    t2_hits += o.t2_hits;
+    misses += o.misses;
+    demotes_to_t1 += o.demotes_to_t1;
+    demotes_to_t2 += o.demotes_to_t2;
+    promotes += o.promotes;
+    admit_rejects += o.admit_rejects;
+    if (o.promote_p50_ms > promote_p50_ms) promote_p50_ms = o.promote_p50_ms;
+    if (o.promote_p99_ms > promote_p99_ms) promote_p99_ms = o.promote_p99_ms;
+  }
+};
+
 /// Aggregated metrics for a stage or a whole job.
 struct JobMetrics {
   double wall_ms = 0;           // end-to-end driver wall clock

@@ -36,6 +36,40 @@ struct RecordOps {
   bool decomposable() const { return static_cast<bool>(decompose); }
 };
 
+/// Sequential lazy deserializer over a packed (Kryo) record run — the
+/// byte payload of a T1/T2 block served without promotion
+/// (LoadedBlock::packed). A point query deserializes only the records up
+/// to its target index instead of materializing the whole block's
+/// Object[]; the records it does build are ordinary short-lived young
+/// objects.
+class RecordCursor {
+ public:
+  RecordCursor(const RecordOps* ops, jvm::Heap* heap, const uint8_t* data,
+               size_t size, uint32_t count)
+      : ops_(ops), heap_(heap), reader_(data, size), count_(count) {}
+
+  /// Deserializes the next record; kNullRef once `count` records have
+  /// been read. The caller roots the returned object if it allocates
+  /// before consuming it.
+  jvm::ObjRef Next() {
+    if (index_ >= count_) return jvm::kNullRef;
+    ++index_;
+    return ops_->deserialize(heap_, &reader_);
+  }
+
+  /// Records returned so far.
+  uint32_t index() const { return index_; }
+  uint32_t count() const { return count_; }
+  bool done() const { return index_ >= count_; }
+
+ private:
+  const RecordOps* ops_;
+  jvm::Heap* heap_;
+  ByteReader reader_;
+  uint32_t count_;
+  uint32_t index_ = 0;
+};
+
 /// Operations for shuffle key/value handling (hash-based buffers with
 /// eager combining, paper Section 4.2).
 struct ShuffleOps {

@@ -55,6 +55,8 @@ void FinalizeResult(spark::SparkContext* ctx, RunResult* result) {
   result->oom_recoveries = ctx->TotalOomRecoveries();
   result->denied_reservations = ctx->TotalDeniedReservations();
   result->executor_memory = ctx->ExecutorMemorySnapshots();
+  result->tier_active = ctx->config().t1_enabled();
+  result->tier = ctx->TotalTierCounters();
   if (ctx->net_stats() != nullptr) {
     result->net_active = true;
     result->net = ctx->net_stats()->Snapshot();

@@ -71,6 +71,13 @@ struct RunResult {
   bool dist_active = false;
   spark::ClusterCounters cluster;
 
+  // Storage-tier plane (block store T0/T1/T2). tier_active is true when
+  // storage_tiers >= 3 enabled the serialized off-heap tier; the counters
+  // are filled either way (with the tier disabled only the T0/T2 and
+  // hit/miss fields can be non-zero).
+  bool tier_active = false;
+  spark::TierCounters tier;
+
   // Streaming plane (all zero unless the run was a micro-batch stream).
   // Pauses are per-epoch stop-the-world GC + region-reclaim stalls; the
   // footprint samples are the data-plane bytes (native page charges +

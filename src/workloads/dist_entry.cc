@@ -60,6 +60,29 @@ MlParams DecodeMlParams(const std::vector<uint8_t>& blob) {
   return p;
 }
 
+std::vector<uint8_t> EncodeServeParams(const ServeParams& p) {
+  ByteWriter w;
+  w.WriteVarU64(p.num_records);
+  w.WriteVarI64(p.record_doubles);
+  w.WriteVarI64(p.queries_per_task);
+  w.WriteVarI64(p.serve_stages);
+  w.Write<uint8_t>(static_cast<uint8_t>(p.mode));
+  w.WriteVarU64(p.seed);
+  return w.TakeBuffer();
+}
+
+ServeParams DecodeServeParams(const std::vector<uint8_t>& blob) {
+  ByteReader r(blob.data(), blob.size());
+  ServeParams p;
+  p.num_records = r.ReadVarU64();
+  p.record_doubles = static_cast<int>(r.ReadVarI64());
+  p.queries_per_task = static_cast<int>(r.ReadVarI64());
+  p.serve_stages = static_cast<int>(r.ReadVarI64());
+  p.mode = static_cast<Mode>(r.Read<uint8_t>());
+  p.seed = r.ReadVarU64();
+  return p;
+}
+
 std::vector<uint8_t> EncodeProbeParams(const ProbeParams& p) {
   ByteWriter w;
   w.WriteVarI64(p.stages);
@@ -138,6 +161,13 @@ void RegisterDistWorkloads() {
         MlParams p = DecodeMlParams(blob);
         p.spark = base;
         RunLogisticRegression(p);
+      });
+  cluster::RegisterWorkload(
+      "serve", [](const spark::SparkConfig& base,
+                  const std::vector<uint8_t>& blob) {
+        ServeParams p = DecodeServeParams(blob);
+        p.spark = base;
+        RunServeCache(p);
       });
   cluster::RegisterWorkload(
       "probe", [](const spark::SparkConfig& base,

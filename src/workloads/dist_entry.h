@@ -6,6 +6,7 @@
 
 #include "workloads/common.h"
 #include "workloads/lr.h"
+#include "workloads/serve_entry.h"
 #include "workloads/wordcount.h"
 
 namespace deca::workloads {
@@ -19,6 +20,9 @@ WordCountParams DecodeWordCountParams(const std::vector<uint8_t>& blob);
 
 std::vector<uint8_t> EncodeMlParams(const MlParams& p);
 MlParams DecodeMlParams(const std::vector<uint8_t>& blob);
+
+std::vector<uint8_t> EncodeServeParams(const ServeParams& p);
+ServeParams DecodeServeParams(const std::vector<uint8_t>& blob);
 
 /// A scripted control-plane exercise: `stages` shuffle-free
 /// compute-and-collect stages over heapless checksum tasks. With a

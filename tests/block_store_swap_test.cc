@@ -172,5 +172,336 @@ TEST(BlockStoreSwapTest, PageGroupBlockRoundTripsThroughSwapFile) {
   EXPECT_EQ(ctx.metrics().tasks.deser_ms, 0.0);
 }
 
+SparkConfig TieredConfig() {
+  SparkConfig cfg = OneExecutorConfig();
+  cfg.storage_tiers = 3;
+  return cfg;
+}
+
+/// Builds `blocks` object blocks of `n` Rec records each under rdd 3.
+void PutRecBlocks(SparkContext* ctx, const RecModel& model, int blocks,
+                  int n) {
+  ctx->RunStage("build", [&](TaskContext& tc) {
+    jvm::Heap* h = tc.heap();
+    for (int b = 0; b < blocks; ++b) {
+      jvm::HandleScope scope(h);
+      jvm::Handle arr = scope.Make(h->AllocateArray(
+          h->registry()->ref_array_class(), static_cast<uint32_t>(n)));
+      for (int i = 0; i < n; ++i) {
+        jvm::HandleScope inner(h);
+        jvm::ObjRef rec = h->AllocateInstance(model.class_id);
+        h->SetField<int64_t>(rec, 0, b * 100000 + i);
+        h->SetField<double>(rec, 8, b + i * 0.5);
+        h->SetRefElem(arr.get(), static_cast<uint32_t>(i), rec);
+      }
+      tc.cache()->PutObjects({3, b}, arr.get(), static_cast<uint32_t>(n),
+                             &tc.metrics());
+    }
+  });
+}
+
+/// The full tier ladder: demotion compacts T0 heap blocks into off-heap
+/// T1 buffers, pressure eviction then cascades T1 to disk, and accesses
+/// climb back up one tier at a time under AdmitPolicy::kAlways.
+TEST(BlockStoreTierTest, DemoteThenCascadeThenClimbBack) {
+  SparkConfig cfg = TieredConfig();
+  cfg.admit_policy = AdmitPolicy::kAlways;
+  SparkContext ctx(cfg);
+  RecModel model(ctx.registry());
+  ctx.RegisterCachedRdd(3, &model.ops);
+  PutRecBlocks(&ctx, model, 3, 500);
+
+  Executor* e = ctx.executor(0);
+  CacheManager* cache = e->cache();
+  uint64_t heap_held = cache->memory_bytes();
+  ASSERT_GT(heap_held, 0u);
+
+  // Stage 1 of the eviction ladder: everything compacts into T1. The
+  // packed payload is smaller than the heap estimate, and nothing has
+  // touched disk yet.
+  uint64_t demoted = cache->DemoteUnderPressure(UINT64_MAX, false);
+  EXPECT_EQ(demoted, 3u);
+  EXPECT_EQ(cache->demote_t1_count(), 3u);
+  EXPECT_EQ(cache->memory_bytes(), cache->t1_resident_bytes());
+  EXPECT_GT(cache->t1_resident_bytes(), 0u);
+  EXPECT_LT(cache->memory_bytes(), heap_held);
+  EXPECT_EQ(cache->disk_bytes(), 0u);
+  EXPECT_EQ(cache->swap_out_count(), 0u);
+  cache->VerifyAccounting();
+  e->VerifyMemoryAccounting();
+
+  // Stage 2: pressure eviction cascades T1 to swap files.
+  uint64_t evicted = cache->EvictUnderPressure(UINT64_MAX);
+  EXPECT_EQ(evicted, 3u);
+  EXPECT_EQ(cache->swap_out_count(), 3u);
+  EXPECT_EQ(cache->t1_resident_bytes(), 0u);
+  EXPECT_EQ(cache->memory_bytes(), 0u);
+  EXPECT_GT(cache->disk_bytes(), 0u);
+  cache->VerifyAccounting();
+  e->VerifyMemoryAccounting();
+
+  // Climb back: a T2 hit re-admits into T1 (still a temporary view), the
+  // following T1 hit re-admits into T0 (the canonical copy again).
+  ctx.RunStage("climb", [&](TaskContext& tc) {
+    LoadedBlock first = tc.cache()->Get({3, 1}, &tc.metrics());
+    ASSERT_TRUE(first.valid());
+    EXPECT_TRUE(first.temporary);
+    LoadedBlock second = tc.cache()->Get({3, 1}, &tc.metrics());
+    ASSERT_TRUE(second.valid());
+    EXPECT_FALSE(second.temporary);
+    ASSERT_NE(second.object_array, jvm::kNullRef);
+    jvm::Heap* h = tc.heap();
+    jvm::ObjRef rec = h->GetRefElem(second.object_array, 7);
+    EXPECT_EQ(h->GetField<int64_t>(rec, 0), 100007);
+    EXPECT_EQ(h->GetField<double>(rec, 8), 1 + 7 * 0.5);
+  });
+  TierCounters tiers = cache->tier_counters();
+  EXPECT_EQ(tiers.t2_hits, 1u);
+  EXPECT_EQ(tiers.t1_hits, 1u);
+  EXPECT_EQ(tiers.promotes, 2u);
+  EXPECT_GT(cache->memory_bytes(), 0u);
+}
+
+/// kOnSecondAccess: the first access to a demoted block is served as a
+/// zero-materialization packed view; the second re-admits it.
+TEST(BlockStoreTierTest, LazyGetPromotesOnSecondAccess) {
+  SparkConfig cfg = TieredConfig();
+  cfg.admit_policy = AdmitPolicy::kOnSecondAccess;
+  SparkContext ctx(cfg);
+  RecModel model(ctx.registry());
+  ctx.RegisterCachedRdd(3, &model.ops);
+  PutRecBlocks(&ctx, model, 1, 500);
+
+  CacheManager* cache = ctx.executor(0)->cache();
+  ASSERT_EQ(cache->DemoteUnderPressure(UINT64_MAX, false), 1u);
+  uint64_t packed_size = cache->t1_resident_bytes();
+  ASSERT_GT(packed_size, 0u);
+
+  ctx.RunStage("first", [&](TaskContext& tc) {
+    LoadedBlock b = tc.cache()->GetLazy({3, 0}, &tc.metrics());
+    ASSERT_TRUE(b.valid());
+    EXPECT_TRUE(b.temporary);
+    EXPECT_EQ(b.object_array, jvm::kNullRef);  // nothing materialized
+    ASSERT_NE(b.packed, nullptr);
+    EXPECT_EQ(b.level, StorageLevel::kMemoryObjects);
+  });
+  EXPECT_EQ(cache->admit_reject_count(), 1u);
+  EXPECT_EQ(cache->promote_count(), 0u);
+  EXPECT_EQ(cache->t1_resident_bytes(), packed_size);  // still demoted
+
+  ctx.RunStage("second", [&](TaskContext& tc) {
+    LoadedBlock b = tc.cache()->GetLazy({3, 0}, &tc.metrics());
+    ASSERT_TRUE(b.valid());
+    EXPECT_FALSE(b.temporary);
+    ASSERT_NE(b.object_array, jvm::kNullRef);
+    jvm::Heap* h = tc.heap();
+    jvm::ObjRef rec = h->GetRefElem(b.object_array, 123);
+    EXPECT_EQ(h->GetField<int64_t>(rec, 0), 123);
+  });
+  EXPECT_EQ(cache->promote_count(), 1u);
+  EXPECT_EQ(cache->t1_resident_bytes(), 0u);  // back in T0
+  cache->VerifyAccounting();
+}
+
+/// kNever: demoted blocks are served as packed views forever; no access
+/// pattern earns them back into the heap.
+TEST(BlockStoreTierTest, AdmitNeverKeepsBlocksPacked) {
+  SparkConfig cfg = TieredConfig();
+  cfg.admit_policy = AdmitPolicy::kNever;
+  SparkContext ctx(cfg);
+  RecModel model(ctx.registry());
+  ctx.RegisterCachedRdd(3, &model.ops);
+  PutRecBlocks(&ctx, model, 1, 500);
+
+  CacheManager* cache = ctx.executor(0)->cache();
+  ASSERT_EQ(cache->DemoteUnderPressure(UINT64_MAX, false), 1u);
+  uint64_t packed_size = cache->t1_resident_bytes();
+
+  ctx.RunStage("hammer", [&](TaskContext& tc) {
+    for (int i = 0; i < 5; ++i) {
+      LoadedBlock b = tc.cache()->GetLazy({3, 0}, &tc.metrics());
+      ASSERT_TRUE(b.valid());
+      EXPECT_TRUE(b.temporary);
+      ASSERT_NE(b.packed, nullptr);
+    }
+  });
+  EXPECT_EQ(cache->admit_reject_count(), 5u);
+  EXPECT_EQ(cache->promote_count(), 0u);
+  EXPECT_EQ(cache->t1_resident_bytes(), packed_size);
+  cache->VerifyAccounting();
+}
+
+/// A crash-wipe landing while blocks sit on every rung of the ladder
+/// (T0 + T1 + T2) must zero all meters and lose every block — lineage
+/// recovery, not the store, owns bringing them back.
+TEST(BlockStoreTierTest, CrashWipeMidDemotionZeroesEveryTier) {
+  SparkConfig cfg = TieredConfig();
+  SparkContext ctx(cfg);
+  RecModel model(ctx.registry());
+  ctx.RegisterCachedRdd(3, &model.ops);
+  PutRecBlocks(&ctx, model, 3, 500);
+
+  Executor* e = ctx.executor(0);
+  CacheManager* cache = e->cache();
+  // One block to T1, then cascade it to T2, then another to T1: the
+  // ladder is mid-demotion with one block on each rung.
+  ASSERT_GT(cache->DemoteUnderPressure(1, false), 0u);
+  ASSERT_GT(cache->EvictUnderPressure(1), 0u);
+  ASSERT_GT(cache->DemoteUnderPressure(1, false), 0u);
+  ASSERT_GT(cache->t1_resident_bytes(), 0u);
+  ASSERT_GT(cache->disk_bytes(), 0u);
+  ASSERT_GT(cache->memory_bytes(), cache->t1_resident_bytes());  // T0 left
+
+  cache->DropAllForWipe();
+  EXPECT_EQ(cache->memory_bytes(), 0u);
+  EXPECT_EQ(cache->disk_bytes(), 0u);
+  EXPECT_EQ(cache->t1_resident_bytes(), 0u);
+  cache->VerifyAccounting();
+  e->VerifyMemoryAccounting();
+
+  ctx.RunStage("lost", [&](TaskContext& tc) {
+    for (int b = 0; b < 3; ++b) {
+      LoadedBlock blk = tc.cache()->Get({3, b}, &tc.metrics());
+      EXPECT_FALSE(blk.valid());
+    }
+  });
+  EXPECT_EQ(cache->tier_counters().misses, 3u);
+}
+
+/// Cache-thrash equivalence matrix: a working set ~2x the executor
+/// budget hammered with skewed point reads must produce one digest across
+/// {legacy 2-tier, 3-tier always/second/never} and across the sequential
+/// and threaded runtimes (the threaded run doubles as the TSan exercise:
+/// two executor threads churn their stores while the driver polls the
+/// atomic meters at barriers).
+TEST(BlockStoreTierTest, ThrashDigestMatrixAcrossTiersAndThreads) {
+  struct Outcome {
+    uint64_t digest = 0;
+    uint64_t demotes = 0;
+    uint64_t rejects = 0;
+    uint64_t swaps = 0;
+  };
+  constexpr int kBlocksPerPartition = 6;
+  constexpr int kRecsPerBlock = 256;
+
+  auto run = [&](int tiers, AdmitPolicy admit, int threads,
+                 bool crash_wipe) {
+    SparkConfig cfg;
+    cfg.num_executors = 2;
+    cfg.partitions_per_executor = 2;
+    cfg.num_worker_threads = threads;
+    cfg.heap.heap_bytes = 16u << 20;
+    // Tight unified budget: the per-executor working set is ~2x this, so
+    // every variant demotes and/or swaps continuously.
+    cfg.executor_memory_bytes = 64u << 10;
+    cfg.storage_tiers = tiers;
+    cfg.admit_policy = admit;
+    cfg.spill_dir = "/tmp/deca_test_thrash";
+    if (crash_wipe) {
+      // Wipe executor 1 between thrash stages: every tier it held (T0,
+      // T1, and swap files) is lost at once and must come back through
+      // lineage replay.
+      cfg.fault.crash_wipe_stage = 2;
+      cfg.fault.crash_wipe_executor = 1;
+    }
+    SparkContext ctx(cfg);
+    RecModel model(ctx.registry());
+    ctx.RegisterCachedRdd(7, &model.ops);
+
+    auto load_task = [&](TaskContext& tc) {
+      jvm::Heap* h = tc.heap();
+      for (int b = 0; b < kBlocksPerPartition; ++b) {
+        jvm::HandleScope scope(h);
+        jvm::Handle arr = scope.Make(h->AllocateArray(
+            h->registry()->ref_array_class(), kRecsPerBlock));
+        for (int i = 0; i < kRecsPerBlock; ++i) {
+          jvm::HandleScope inner(h);
+          jvm::ObjRef rec = h->AllocateInstance(model.class_id);
+          h->SetField<int64_t>(rec, 0,
+                               tc.partition() * 1000000 + b * 1000 + i);
+          h->SetField<double>(rec, 8, tc.partition() + b * 0.25 + i);
+          h->SetRefElem(arr.get(), static_cast<uint32_t>(i), rec);
+        }
+        tc.cache()->PutObjects({7, tc.partition() * 16 + b}, arr.get(),
+                               kRecsPerBlock, &tc.metrics());
+      }
+    };
+    ctx.RunStage("load", load_task);
+    ctx.RegisterLineage(7, load_task);
+
+    uint64_t digest = 0;
+    for (int s = 0; s < 3; ++s) {
+      auto blobs = ctx.RunCollectStage(
+          "thrash", [&, s](TaskContext& tc) -> std::vector<uint8_t> {
+            jvm::Heap* h = tc.heap();
+            uint64_t x = 0x243f6a8885a308d3ULL ^
+                         (static_cast<uint64_t>(s) << 32) ^
+                         static_cast<uint64_t>(tc.partition());
+            uint64_t d = 0;
+            for (int q = 0; q < 200; ++q) {
+              x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+              int b = static_cast<int>((x >> 33) % kBlocksPerPartition);
+              int slot = static_cast<int>((x >> 13) % kRecsPerBlock);
+              LoadedBlock blk = tc.cache()->Get(
+                  {7, tc.partition() * 16 + b}, &tc.metrics());
+              EXPECT_TRUE(blk.valid());
+              jvm::ObjRef rec = h->GetRefElem(
+                  blk.object_array, static_cast<uint32_t>(slot));
+              uint64_t vbits;
+              double v = h->GetField<double>(rec, 8);
+              std::memcpy(&vbits, &v, sizeof(vbits));
+              d = d * 1099511628211ULL ^
+                  (static_cast<uint64_t>(h->GetField<int64_t>(rec, 0)) +
+                   0x9e3779b97f4a7c15ULL * vbits);
+            }
+            ByteWriter w;
+            w.WriteVarU64(d);
+            return w.TakeBuffer();
+          });
+      for (const auto& blob : blobs) {
+        ByteReader r(blob.data(), blob.size());
+        digest = digest * 1099511628211ULL ^ r.ReadVarU64();
+      }
+    }
+
+    Outcome out;
+    out.digest = digest;
+    for (int i = 0; i < cfg.num_executors; ++i) {
+      CacheManager* c = ctx.executor(i)->cache();
+      c->VerifyAccounting();
+      out.demotes += c->demote_t1_count();
+      out.rejects += c->admit_reject_count();
+      out.swaps += c->swap_out_count();
+    }
+    return out;
+  };
+
+  Outcome legacy = run(2, AdmitPolicy::kOnSecondAccess, 0, false);
+  Outcome always = run(3, AdmitPolicy::kAlways, 0, false);
+  Outcome second = run(3, AdmitPolicy::kOnSecondAccess, 0, false);
+  Outcome never = run(3, AdmitPolicy::kNever, 0, false);
+  Outcome threaded = run(3, AdmitPolicy::kOnSecondAccess, 2, false);
+  Outcome wiped = run(3, AdmitPolicy::kOnSecondAccess, 0, true);
+  Outcome wiped_legacy = run(2, AdmitPolicy::kOnSecondAccess, 0, true);
+
+  // One digest across every tier policy, both runtimes, and a mid-run
+  // crash-wipe: tier placement may differ, record values may not.
+  EXPECT_EQ(always.digest, legacy.digest);
+  EXPECT_EQ(second.digest, legacy.digest);
+  EXPECT_EQ(never.digest, legacy.digest);
+  EXPECT_EQ(threaded.digest, legacy.digest);
+  EXPECT_EQ(wiped.digest, legacy.digest);
+  EXPECT_EQ(wiped_legacy.digest, legacy.digest);
+  // The matrix only means something if the variants actually thrashed.
+  EXPECT_EQ(legacy.demotes, 0u);  // no T1 without the middle tier
+  EXPECT_GT(legacy.swaps, 0u);
+  EXPECT_GT(always.demotes, 0u);
+  EXPECT_GT(never.demotes, 0u);
+  EXPECT_GT(never.rejects, 0u);
+  // Same config, same counters: the threaded runtime is bit-identical.
+  EXPECT_EQ(threaded.demotes, second.demotes);
+  EXPECT_EQ(threaded.swaps, second.swaps);
+}
+
 }  // namespace
 }  // namespace deca::spark

@@ -61,8 +61,13 @@ TEST(MemoryManagerTest, ExecutionEvictsStorageDownToFloorOnly) {
   // Simulated block store: holds storage reservations it can shed.
   std::vector<MemoryReservation> blocks;
   std::vector<uint64_t> evict_requests;
-  mm.SetStorageEvictor([&](uint64_t need, bool for_oom) -> uint64_t {
+  mm.SetStorageEvictor([&](uint64_t need,
+                           ExecutorMemoryManager::EvictStage stage,
+                           bool for_oom) -> uint64_t {
     EXPECT_FALSE(for_oom);
+    // This fake store has no off-heap tier: the demote stage sheds
+    // nothing, like the real cache with storage_tiers=2.
+    if (stage == ExecutorMemoryManager::EvictStage::kDemote) return 0;
     evict_requests.push_back(need);
     uint64_t evicted = 0;
     while (!blocks.empty() && evicted < need) {
