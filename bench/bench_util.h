@@ -83,6 +83,12 @@ inline void PrintEffectiveConfigOnce(const spark::SparkConfig& cfg) {
                 cfg.storage_tiers, cfg.t1_fraction,
                 spark::AdmitPolicyName(cfg.admit_policy));
   }
+  if (cfg.heap.pause_budget_ms > 0 ||
+      cfg.lifetime_source != spark::LifetimeSource::kStatic) {
+    std::printf("gc: pause_budget=%.2fms lifetime_source=%s\n",
+                cfg.heap.pause_budget_ms,
+                spark::LifetimeSourceName(cfg.lifetime_source));
+  }
 }
 
 /// Prints the effective stream plan once per process (effective-config
@@ -102,6 +108,10 @@ inline void PrintEffectiveStreamConfigOnce(const stream::StreamOptions& o) {
 ///
 /// Environment overrides (results stay bit-identical across both):
 ///   DECA_EXECUTORS=N        executor count (default 2)
+///   DECA_HEAP_MB=MB         per-executor simulated heap (default: the
+///                           bench's own sizing, usually 64) — shrink it
+///                           to force GC activity at CI scales, e.g. for
+///                           the pause-budget SLO leg
 ///   DECA_WORKER_THREADS=N   parallel runtime threads (default 0 =
 ///                           sequential driver loop)
 ///   DECA_EXECUTOR_MEMORY=MB unified per-executor memory budget
@@ -145,6 +155,21 @@ inline void PrintEffectiveStreamConfigOnce(const stream::StreamOptions& o) {
 ///   DECA_ADMIT_POLICY=always|second_access|never
 ///                            re-admission policy for Gets served from
 ///                            T1/T2 (default second_access)
+///
+/// Incremental marking & online lifetime profiling (src/jvm; the defaults
+/// keep the historical monolithic mark phases bit-identical):
+///   DECA_PAUSE_BUDGET_MS=MS  split STW mark phases into resumable slices
+///                            of at most MS milliseconds (0 = monolithic);
+///                            workload digests are unchanged either way
+///   DECA_LIFETIME_SOURCE=static|profiled|oracle
+///                            source of the size/lifetime classification
+///                            gating the Deca path (default static; the
+///                            profiled/oracle verdicts are cross-checked
+///                            against static, so results are identical)
+///   DECA_PROFILE_SAMPLE_BYTES=N
+///                            profiled-calibration sampling period in
+///                            allocated bytes (default 512)
+///   DECA_PROFILE_SEED=N      profiler sampling seed (default 1)
 inline spark::SparkConfig DefaultSpark(size_t heap_mb = 64) {
   spark::SparkConfig cfg;
   cfg.partitions_per_executor = 2;
@@ -162,7 +187,8 @@ inline spark::SparkConfig DefaultSpark(size_t heap_mb = 64) {
   cfg.fault.crash_wipe_executor = EnvInt("DECA_CRASH_WIPE_EXECUTOR",
                                          cfg.fault.crash_wipe_executor,
                                          INT32_MIN);
-  cfg.heap.heap_bytes = heap_mb << 20;
+  cfg.heap.heap_bytes =
+      static_cast<size_t>(EnvU64("DECA_HEAP_MB", heap_mb)) << 20;
   cfg.memory_fraction = 0.75;
   cfg.executor_memory_bytes =
       static_cast<size_t>(EnvU64("DECA_EXECUTOR_MEMORY", 0)) << 20;
@@ -209,6 +235,21 @@ inline spark::SparkConfig DefaultSpark(size_t heap_mb = 64) {
     std::fprintf(stderr,
                  "unknown DECA_ADMIT_POLICY '%s', using second_access\n",
                  admit.c_str());
+  }
+  cfg.heap.pause_budget_ms =
+      EnvDouble("DECA_PAUSE_BUDGET_MS", cfg.heap.pause_budget_ms);
+  cfg.heap.profile_sample_bytes = static_cast<size_t>(
+      EnvU64("DECA_PROFILE_SAMPLE_BYTES", cfg.heap.profile_sample_bytes));
+  cfg.heap.profile_seed = EnvU64("DECA_PROFILE_SEED", cfg.heap.profile_seed);
+  std::string lifetime = EnvStr("DECA_LIFETIME_SOURCE", "static");
+  if (lifetime == "profiled") {
+    cfg.lifetime_source = spark::LifetimeSource::kProfiled;
+  } else if (lifetime == "oracle") {
+    cfg.lifetime_source = spark::LifetimeSource::kOracle;
+  } else if (lifetime != "static") {
+    std::fprintf(stderr,
+                 "unknown DECA_LIFETIME_SOURCE '%s', using static\n",
+                 lifetime.c_str());
   }
   cfg.spill_dir = "/tmp/deca_bench_spill";
   // Structured tracing: on when a report/trace file was requested
@@ -435,6 +476,31 @@ class BenchReport {
       time("epoch.pause_p50_ms", r.epoch_pause_p50_ms);
       time("epoch.pause_p99_ms", r.epoch_pause_p99_ms);
       time("epoch.reclaim_p99_ms", r.epoch_reclaim_p99_ms);
+    }
+    if (r.pauses.pause_events > 0 || r.pauses.mark_slices > 0) {
+      // GC pause plane (schema v4): typed aggregate plus flat metrics.
+      // mark_slices/pause_events are deterministic at the default
+      // DECA_PAUSE_BUDGET_MS=0 (one slice per monolithic mark); budgeted
+      // runs must be gated with report_diff --slo assertions rather than
+      // baseline diffs, since their slice counts are timing-dependent.
+      run.pauses.present = true;
+      run.pauses.mark_slices = r.pauses.mark_slices;
+      run.pauses.pause_events = r.pauses.pause_events;
+      run.pauses.pause_p50_ms = r.pauses.pause_p50_ms;
+      run.pauses.pause_p99_ms = r.pauses.pause_p99_ms;
+      run.pauses.pause_max_ms = r.pauses.pause_max_ms;
+      run.pauses.slice_p50_ms = r.pauses.slice_p50_ms;
+      run.pauses.slice_p99_ms = r.pauses.slice_p99_ms;
+      run.pauses.slice_max_ms = r.pauses.slice_max_ms;
+      exact("pauses.mark_slices",
+            static_cast<double>(r.pauses.mark_slices));
+      exact("pauses.events", static_cast<double>(r.pauses.pause_events));
+      time("pauses.pause_p50_ms", r.pauses.pause_p50_ms);
+      time("pauses.pause_p99_ms", r.pauses.pause_p99_ms);
+      time("pauses.pause_max_ms", r.pauses.pause_max_ms);
+      time("pauses.slice_p50_ms", r.pauses.slice_p50_ms);
+      time("pauses.slice_p99_ms", r.pauses.slice_p99_ms);
+      time("pauses.slice_max_ms", r.pauses.slice_max_ms);
     }
     if (r.trace != nullptr) {
       exact("trace.dropped_events",

@@ -67,6 +67,14 @@ int main(int argc, char** argv) {
     digests_agree = digests_agree && r.digest == digest;
     report.AddRun(std::string("stream-wc/") + v.name, r.run);
     report.AddMetric("throughput_rps", r.throughput_rps, /*exact=*/false);
+    // The 64-bit window digest in exact halves (a double carries 53
+    // bits), so budgeted and unbudgeted reports can be digest-compared.
+    report.AddMetric("stream.digest_lo",
+                     static_cast<double>(static_cast<uint32_t>(r.digest)),
+                     /*exact=*/true);
+    report.AddMetric("stream.digest_hi",
+                     static_cast<double>(static_cast<uint32_t>(r.digest >> 32)),
+                     /*exact=*/true);
     t.AddRow({v.name, TablePrinter::Num(r.throughput_rps / 1000.0, 1),
               Ms(r.run.epoch_pause_p50_ms), Ms(r.run.epoch_pause_p99_ms),
               Ms(r.run.epoch_reclaim_p99_ms), Ms(r.run.gc_ms),

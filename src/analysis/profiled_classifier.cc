@@ -1,0 +1,67 @@
+#include "analysis/profiled_classifier.h"
+
+#include "common/logging.h"
+#include "jvm/heap.h"
+
+namespace deca::analysis {
+
+ProfiledClassifier::ProfiledClassifier(
+    const jvm::AllocationSiteProfiler& profiler) {
+  for (const auto& [class_id, st] : profiler.sites()) {
+    SiteSummary s;
+    s.sampled = st.sampled;
+    s.observed = st.observed;
+    s.size_min = st.size_min;
+    s.size_max = st.size_max;
+    s.survival_rate = profiler.SurvivalRate(class_id);
+    sites_.emplace(class_id, s);
+  }
+}
+
+SizeType ProfiledClassifier::Classify(uint32_t class_id) const {
+  auto it = sites_.find(class_id);
+  if (it == sites_.end() || it->second.sampled == 0) {
+    return SizeType::kVariable;
+  }
+  if (it->second.size_min == it->second.size_max) {
+    return SizeType::kStaticFixed;
+  }
+  return SizeType::kRuntimeFixed;
+}
+
+double ProfiledClassifier::SurvivalRate(uint32_t class_id) const {
+  auto it = sites_.find(class_id);
+  return it == sites_.end() ? 0.0 : it->second.survival_rate;
+}
+
+ProfiledClassifier CalibrateProfile(
+    jvm::ClassRegistry* registry, const CalibrationOptions& opts,
+    const std::function<jvm::ObjRef(jvm::Heap*)>& allocate_record) {
+  DECA_CHECK_GT(opts.sample_bytes, 0u);
+  jvm::HeapConfig hc;
+  hc.heap_bytes = opts.heap_bytes;
+  hc.algorithm = jvm::GcAlgorithm::kParallelScavenge;
+  jvm::Heap heap(hc, registry);
+  jvm::AllocationSiteProfiler profiler(opts.sample_bytes, opts.seed);
+  heap.SetAllocProfiler(&profiler);
+  // Retained records live in a root provider, not an outer HandleScope:
+  // scopes are strictly nested, so an outer scope cannot grow while inner
+  // per-record scopes open and close.
+  jvm::VectorRootProvider retained;
+  heap.AddRootProvider(&retained);
+  for (uint64_t i = 0; i < opts.records; ++i) {
+    jvm::HandleScope scope(&heap);
+    jvm::ObjRef rec = allocate_record(&heap);
+    if (opts.retain_every > 0 && i % opts.retain_every == 0) {
+      retained.refs().push_back(rec);
+    }
+  }
+  // A final scavenge so samples from the tail of the run (still sitting in
+  // eden) get their survival observation.
+  heap.CollectMinor();
+  heap.SetAllocProfiler(nullptr);
+  heap.RemoveRootProvider(&retained);
+  return ProfiledClassifier(profiler);
+}
+
+}  // namespace deca::analysis

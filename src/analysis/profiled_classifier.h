@@ -1,0 +1,82 @@
+#ifndef DECA_ANALYSIS_PROFILED_CLASSIFIER_H_
+#define DECA_ANALYSIS_PROFILED_CLASSIFIER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "analysis/size_type.h"
+#include "jvm/heap_profiler.h"
+#include "jvm/object_model.h"
+
+namespace deca::jvm {
+class ClassRegistry;
+class Heap;
+}  // namespace deca::jvm
+
+namespace deca::analysis {
+
+/// Online counterpart of GlobalClassifier: derives per-class size-types
+/// from an AllocationSiteProfiler's observed site table instead of static
+/// UDT/code analysis. The evidence is weaker than the static proof — a
+/// constant observed size is consistent with SFST but does not prove it —
+/// so workloads cross-check the profiled verdict against the static one
+/// before gating the decomposed path on it (DECA_LIFETIME_SOURCE=profiled).
+class ProfiledClassifier {
+ public:
+  struct SiteSummary {
+    uint64_t sampled = 0;    // sampled allocations of the class
+    uint64_t observed = 0;   // samples observed at their first evacuation
+    uint32_t size_min = 0;   // smallest sampled instance (bytes)
+    uint32_t size_max = 0;   // largest sampled instance (bytes)
+    double survival_rate = 0.0;  // observed / sampled
+  };
+
+  ProfiledClassifier() = default;
+
+  /// Snapshots the profiler's site table; the profiler may be destroyed
+  /// afterwards.
+  explicit ProfiledClassifier(const jvm::AllocationSiteProfiler& profiler);
+
+  /// Size-type of `class_id` from profile evidence alone: every sampled
+  /// instance the same size -> SFST evidence; differing instance sizes ->
+  /// RFST (instances in this object model never grow after construction,
+  /// so per-instance sizes are fixed); never sampled -> no evidence,
+  /// conservatively VST.
+  SizeType Classify(uint32_t class_id) const;
+
+  /// Fraction of sampled instances of `class_id` observed surviving an
+  /// evacuation (0 when the class was never sampled). Low rates indicate
+  /// die-young, region-scoped lifetimes.
+  double SurvivalRate(uint32_t class_id) const;
+
+  const std::map<uint32_t, SiteSummary>& sites() const { return sites_; }
+
+ private:
+  std::map<uint32_t, SiteSummary> sites_;
+};
+
+/// Parameters of one profiling calibration run (a small scratch heap
+/// exercised with representative record allocations).
+struct CalibrationOptions {
+  size_t heap_bytes = 4u << 20;  // scratch heap size
+  uint64_t records = 2048;       // records to allocate
+  uint64_t retain_every = 4;     // every Kth record stays live across minors
+  size_t sample_bytes = 512;     // profiler sampling period
+  uint64_t seed = 1;             // profiler seed (initial countdown offset)
+};
+
+/// Runs `allocate_record` `opts.records` times in a scratch
+/// ParallelScavenge heap with an AllocationSiteProfiler attached and
+/// returns the resulting classifier. Every `retain_every`-th record is
+/// pinned in a root provider so eden pressure drives real minor
+/// collections and the profiler observes survival, not just allocation.
+/// The scratch heap shares `registry`, so the summarized class ids match
+/// the executor heaps'; the executors themselves are never touched.
+ProfiledClassifier CalibrateProfile(
+    jvm::ClassRegistry* registry, const CalibrationOptions& opts,
+    const std::function<jvm::ObjRef(jvm::Heap*)>& allocate_record);
+
+}  // namespace deca::analysis
+
+#endif  // DECA_ANALYSIS_PROFILED_CLASSIFIER_H_

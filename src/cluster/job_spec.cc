@@ -17,6 +17,10 @@ void EncodeSparkConfig(const spark::SparkConfig& c, ByteWriter* w) {
   w->Write<double>(c.heap.g1_ihop);
   w->Write<double>(c.heap.g1_live_threshold);
   w->Write<double>(c.heap.concurrent_pause_share);
+  w->Write<double>(c.heap.pause_budget_ms);
+  w->WriteVarU64(c.heap.profile_sample_bytes);
+  w->WriteVarU64(c.heap.profile_seed);
+  w->Write<uint8_t>(static_cast<uint8_t>(c.lifetime_source));
 
   w->WriteVarU64(c.executor_memory_bytes);
   w->Write<double>(c.memory_fraction);
@@ -75,6 +79,10 @@ spark::SparkConfig DecodeSparkConfig(ByteReader* r) {
   c.heap.g1_ihop = r->Read<double>();
   c.heap.g1_live_threshold = r->Read<double>();
   c.heap.concurrent_pause_share = r->Read<double>();
+  c.heap.pause_budget_ms = r->Read<double>();
+  c.heap.profile_sample_bytes = static_cast<size_t>(r->ReadVarU64());
+  c.heap.profile_seed = r->ReadVarU64();
+  c.lifetime_source = static_cast<spark::LifetimeSource>(r->Read<uint8_t>());
 
   c.executor_memory_bytes = static_cast<size_t>(r->ReadVarU64());
   c.memory_fraction = r->Read<double>();

@@ -51,6 +51,13 @@ class Collector {
   /// attached to a JVM reports). Free-space filler chunks are skipped.
   virtual void ForEachObject(const std::function<void(ObjRef)>& fn) const = 0;
 
+  /// Allocation-driven pacing hook for incremental marking: called by the
+  /// heap every ~64KB of allocation while a mark cycle is active, before
+  /// the allocation is satisfied. The collector runs one budgeted mark
+  /// slice and, if that completes the cycle, the collection that consumes
+  /// it (sweep / mixed evacuation).
+  virtual void IncrementalMarkTick() {}
+
   /// Returns (and clears) whether the most recent AllocateRaw granted
   /// 8 bytes of trailing slack (free-list allocators only); the heap
   /// records this in the object header to keep the space parsable.

@@ -6,6 +6,7 @@
 #include "common/clock.h"
 #include "common/logging.h"
 #include "jvm/heap.h"
+#include "jvm/heap_profiler.h"
 #include "obs/trace.h"
 
 namespace deca::jvm {
@@ -22,7 +23,7 @@ constexpr int kMixedBackoffGcs = 4;
 }  // namespace
 
 G1Collector::G1Collector(Heap* heap, const HeapConfig& config)
-    : heap_(heap), cfg_(config) {
+    : heap_(heap), cfg_(config), marker_(heap) {
   region_bytes_ = config.g1_region_bytes;
   if (region_bytes_ == 0) {
     region_bytes_ = AlignUp(config.heap_bytes / 128, kMinRegionBytes);
@@ -103,10 +104,16 @@ uint8_t* G1Collector::AllocateSmall(size_t bytes) {
       }
     }
     if (attempt == 0) {
-      if (ShouldStartMixed()) {
+      if (ShouldStartMixed() && cfg_.pause_budget_ms <= 0) {
         MixedGc(/*aggressive=*/false);
       } else {
         YoungGc();
+        // Budgeted mode: an IHOP crossing starts a concurrent cycle
+        // drained by allocation ticks instead of marking in this pause.
+        if (cfg_.pause_budget_ms > 0 && !marker_.active() &&
+            ShouldStartMixed()) {
+          StartConcurrentCycle();
+        }
       }
     } else if (attempt == 1) {
       MixedGc(/*aggressive=*/true);
@@ -272,6 +279,12 @@ void G1Collector::CollectMinor() { YoungGc(); }
 void G1Collector::CollectFull() { MixedGc(/*aggressive=*/true); }
 
 void G1Collector::YoungGc() {
+  if (marker_.active()) {
+    // Evacuation would invalidate the in-flight mark state: finish the
+    // cycle; its consuming mixed collection empties the young gen too.
+    MixedGc(/*aggressive=*/false);
+    return;
+  }
   if (young_region_count() == 0) return;
   if (free_region_count() * region_bytes_ < young_used_bytes()) {
     // Not enough target space for a guaranteed evacuation: reclaim old
@@ -287,6 +300,7 @@ void G1Collector::YoungGc() {
   st.minor_count += 1;
   double pause_ms = sw.ElapsedMillis();
   st.minor_pause_ms += pause_ms;
+  heap_->RecordPauseMs(pause_ms);
   if (auto* rec = obs::Current()) {
     rec->CompleteSpanMs(obs::Cat::kGc, "minor_pause", pause_ms,
                         static_cast<double>(st.minor_count));
@@ -295,14 +309,51 @@ void G1Collector::YoungGc() {
 }
 
 void G1Collector::MixedGc(bool aggressive) {
-  GcStats& st = heap_->mutable_stats();
   Stopwatch mark_sw;
+  if (marker_.active()) {
+    // Force-complete the in-flight concurrent cycle in budget-bounded
+    // slices; the marked set equals a fresh monolithic mark modulo SATB
+    // floating garbage.
+    marker_.FinishAll(cfg_.pause_budget_ms);
+  } else {
+    uint64_t epoch = heap_->NextGcEpoch();
+    for (auto& r : regions_) r.live_bytes = 0;
+    auto on_mark = [this](ObjRef o) {
+      RegionOf(heap_->Addr(o)).live_bytes += heap_->ObjectBytes(o);
+    };
+    if (cfg_.pause_budget_ms > 0) {
+      marker_.Begin(epoch, on_mark);
+      marker_.FinishAll(cfg_.pause_budget_ms);
+    } else {
+      MarkAllReachable(heap_, epoch, &mark_stack_, on_mark);
+      heap_->RecordMarkSlice(mark_sw.ElapsedMillis(), /*standalone=*/false);
+    }
+  }
+  MixedFinish(aggressive, mark_sw.ElapsedMillis());
+}
+
+void G1Collector::StartConcurrentCycle() {
   uint64_t epoch = heap_->NextGcEpoch();
   for (auto& r : regions_) r.live_bytes = 0;
-  MarkAllReachable(heap_, epoch, &mark_stack_, [&](ObjRef o) {
+  marker_.Begin(epoch, [this](ObjRef o) {
     RegionOf(heap_->Addr(o)).live_bytes += heap_->ObjectBytes(o);
   });
-  double mark_ms = mark_sw.ElapsedMillis();
+}
+
+void G1Collector::IncrementalMarkTick() {
+  if (!marker_.active()) return;
+  if (marker_.Step(cfg_.pause_budget_ms, /*standalone=*/true)) {
+    // Consume the mark immediately: promotions would dilute the region
+    // liveness table if the mixed collection were deferred. The tick fires
+    // before the triggering allocation, so no raw refs are live. The mark
+    // time was already charged per-slice.
+    MixedFinish(/*aggressive=*/false, /*mark_ms=*/0.0);
+  }
+}
+
+void G1Collector::MixedFinish(bool aggressive, double mark_ms) {
+  GcStats& st = heap_->mutable_stats();
+  uint64_t epoch = heap_->gc_epoch();
 
   Stopwatch evac_sw;
   size_t regions_reclaimed = 0;
@@ -366,11 +417,12 @@ void G1Collector::MixedGc(bool aggressive) {
 
   double evac_ms = evac_sw.ElapsedMillis();
   st.full_count += 1;
-  st.full_pause_ms += mark_ms * cfg_.concurrent_pause_share + evac_ms;
+  double pause_ms = mark_ms * cfg_.concurrent_pause_share + evac_ms;
+  st.full_pause_ms += pause_ms;
   st.concurrent_ms += mark_ms * (1.0 - cfg_.concurrent_pause_share);
+  heap_->RecordPauseMs(pause_ms);
   if (auto* rec = obs::Current()) {
-    rec->CompleteSpanMs(obs::Cat::kGc, "mixed_pause",
-                        mark_ms * cfg_.concurrent_pause_share + evac_ms,
+    rec->CompleteSpanMs(obs::Cat::kGc, "mixed_pause", pause_ms,
                         static_cast<double>(st.full_count),
                         static_cast<double>(regions_reclaimed));
     rec->CompleteSpanMs(obs::Cat::kGc, "concurrent_mark",
@@ -553,8 +605,17 @@ void G1Collector::EvacuateSlot(ObjRef* slot, EvacTargets* t) {
   }
   std::memcpy(dst, p, size);
   ObjRef nr = heap_->RefOf(dst);
-  heap_->MetaOf(nr) = MetaWithAge(meta & ~(kInRemsetBit | kSlack8Bit),
-                                  promoted ? 0 : age);
+  uint32_t nmeta = MetaWithAge(meta & ~(kInRemsetBit | kSlack8Bit),
+                               promoted ? 0 : age);
+  if ((meta & kSampledBit) != 0) {
+    // First evacuation of a sampled object: report the survival
+    // observation and drop the tag (each sample is observed once).
+    nmeta &= ~kSampledBit;
+    if (auto* prof = heap_->alloc_profiler()) {
+      prof->OnSurvive(MetaClassId(meta), promoted);
+    }
+  }
+  heap_->MetaOf(nr) = nmeta;
   heap_->GcWordOf(nr) = 0;
   heap_->GcWordOf(r) = GcMakeForward(nr, /*keep_mark=*/false);
   *slot = nr;

@@ -6,6 +6,7 @@
 
 #include "jvm/collector.h"
 #include "jvm/heap_config.h"
+#include "jvm/incremental_mark.h"
 
 namespace deca::jvm {
 
@@ -33,6 +34,9 @@ class G1Collector : public Collector {
   size_t old_used_bytes() const override;
   size_t capacity_bytes() const override;
   void ForEachObject(const std::function<void(ObjRef)>& fn) const override;
+  /// Advances an in-flight concurrent marking cycle by one budgeted slice;
+  /// on completion runs the consuming mixed collection.
+  void IncrementalMarkTick() override;
   const char* name() const override { return "G1"; }
   std::string DebugString() const override;
 
@@ -100,8 +104,17 @@ class G1Collector : public Collector {
   void YoungGc();
   /// Marking + dead-region reclamation + optional old evacuation.
   /// `aggressive` selects every non-full old region as a candidate (used as
-  /// the full-GC fallback).
+  /// the full-GC fallback). An in-flight concurrent cycle is force-finished
+  /// (budget-bounded slices) and consumed instead of re-marking.
   void MixedGc(bool aggressive);
+  /// Post-mark half of a mixed collection: humongous/dead-region reclaim,
+  /// candidate selection, and collection-set evacuation, using the region
+  /// liveness recorded by the most recent mark (epoch = heap gc_epoch).
+  void MixedFinish(bool aggressive, double mark_ms);
+  /// Begins a concurrent marking cycle (budgeted mode): takes a fresh
+  /// epoch, zeroes region liveness, and snapshots the roots; allocation
+  /// ticks drain the rest.
+  void StartConcurrentCycle();
 
   bool ShouldStartMixed() const;
 
@@ -123,6 +136,7 @@ class G1Collector : public Collector {
   std::vector<ObjRef> remset_;
   std::vector<ObjRef> worklist_;
   std::vector<ObjRef> mark_stack_;
+  IncrementalMarker marker_;                // resumable mark (budgeted mode)
   int mixed_backoff_ = 0;                   // young GCs to skip mixed checks
 };
 

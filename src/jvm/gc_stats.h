@@ -15,6 +15,8 @@ struct GcStats {
   double full_pause_ms = 0.0;
   double concurrent_ms = 0.0;
 
+  uint64_t mark_slices = 0;       // resumable mark slices executed (each
+                                  // monolithic mark counts as one slice)
   uint64_t objects_traced = 0;    // objects visited by marking/evacuation
   uint64_t bytes_copied = 0;      // bytes moved by copying/compaction
   uint64_t objects_promoted = 0;  // young objects tenured into old gen

@@ -6,6 +6,7 @@
 #include "common/clock.h"
 #include "common/logging.h"
 #include "jvm/heap.h"
+#include "jvm/heap_profiler.h"
 #include "obs/trace.h"
 
 namespace deca::jvm {
@@ -17,7 +18,7 @@ constexpr int kMaxAllocAttempts = 3;
 }  // namespace
 
 GenCollectorBase::GenCollectorBase(Heap* heap, const HeapConfig& config)
-    : heap_(heap), cfg_(config) {
+    : heap_(heap), cfg_(config), marker_(heap) {
   uint8_t* start = heap->base() + 2 * kWordSize;  // word 0/1 reserved (null)
   size_t usable = config.heap_bytes;
   size_t young = AlignUp(static_cast<size_t>(
@@ -200,6 +201,7 @@ void GenCollectorBase::MinorGcImpl() {
   st.minor_count += 1;
   double pause_ms = sw.ElapsedMillis();
   st.minor_pause_ms += pause_ms;
+  heap_->RecordPauseMs(pause_ms);
   if (auto* rec = obs::Current()) {
     rec->CompleteSpanMs(obs::Cat::kGc, "minor_pause", pause_ms,
                         static_cast<double>(st.minor_count),
@@ -250,6 +252,14 @@ void GenCollectorBase::EvacuateSlot(ObjRef* slot, EvacuationState* es) {
   ObjRef nr = heap_->RefOf(dst);
   uint32_t nmeta =
       MetaWithAge(meta & ~(kInRemsetBit | kSlack8Bit), promoted ? 0 : age);
+  if ((meta & kSampledBit) != 0) {
+    // First evacuation of a sampled object: report the survival
+    // observation and drop the tag (each sample is observed once).
+    nmeta &= ~kSampledBit;
+    if (auto* prof = heap_->alloc_profiler()) {
+      prof->OnSurvive(MetaClassId(meta), promoted);
+    }
+  }
   if (slack8) nmeta |= kSlack8Bit;
   heap_->MetaOf(nr) = nmeta;
   heap_->GcWordOf(nr) = 0;
@@ -284,7 +294,16 @@ void GenCollectorBase::ScanObject(ObjRef owner, EvacuationState* es) {
 // -- full collection machinery ----------------------------------------------
 
 size_t GenCollectorBase::MarkAll(uint64_t epoch) {
-  return MarkAllReachable(heap_, epoch, &mark_stack_);
+  if (cfg_.pause_budget_ms > 0) {
+    // Budgeted mode: run the identical transitive mark as back-to-back
+    // bounded slices so every slice lands in the pause histogram.
+    marker_.Begin(epoch);
+    return marker_.FinishAll(cfg_.pause_budget_ms);
+  }
+  Stopwatch sw;
+  size_t live = MarkAllReachable(heap_, epoch, &mark_stack_);
+  heap_->RecordMarkSlice(sw.ElapsedMillis(), /*standalone=*/false);
+  return live;
 }
 
 void GenCollectorBase::CompactAll(uint64_t epoch) {
@@ -384,6 +403,7 @@ void PsCollector::CollectFull() {
   st.full_count += 1;
   double pause_ms = sw.ElapsedMillis();
   st.full_pause_ms += pause_ms;
+  heap_->RecordPauseMs(pause_ms);
   if (auto* rec = obs::Current()) {
     rec->CompleteSpanMs(obs::Cat::kGc, "full_pause", pause_ms,
                         static_cast<double>(st.full_count),
@@ -484,8 +504,16 @@ void CmsCollector::SweepOld(uint64_t epoch) {
   }
 }
 
+void CmsCollector::CollectMinor() {
+  // Evacuation moves objects and overwrites their gcwords, which would
+  // corrupt an in-flight incremental mark: force-complete the cycle first.
+  if (marker_.active()) CompleteActiveCycle();
+  GenCollectorBase::CollectMinor();
+}
+
 void CmsCollector::CollectFull() {
   if (in_full_gc_) return;
+  if (marker_.active()) CompleteActiveCycle();
   in_full_gc_ = true;
   // Empty the young generation first when the promotion guarantee already
   // holds, so the sweep's survivors are stable.
@@ -515,6 +543,7 @@ void CmsCollector::CollectFull() {
   st.full_count += 1;
   st.full_pause_ms += total * cfg_.concurrent_pause_share;
   st.concurrent_ms += total * (1.0 - cfg_.concurrent_pause_share);
+  heap_->RecordPauseMs(total * cfg_.concurrent_pause_share);
   if (auto* rec = obs::Current()) {
     rec->CompleteSpanMs(obs::Cat::kGc, "full_pause",
                         total * cfg_.concurrent_pause_share,
@@ -542,6 +571,7 @@ void CmsCollector::CollectFull() {
 
 bool CmsCollector::OnAllocationFailureAfterFull() {
   // Concurrent mode failure: stop the world and compact everything.
+  if (marker_.active()) CompleteActiveCycle();
   Stopwatch sw;
   uint64_t epoch = heap_->NextGcEpoch();
   MarkAll(epoch);
@@ -550,6 +580,7 @@ bool CmsCollector::OnAllocationFailureAfterFull() {
   st.full_count += 1;
   double pause_ms = sw.ElapsedMillis();
   st.full_pause_ms += pause_ms;
+  heap_->RecordPauseMs(pause_ms);
   if (auto* rec = obs::Current()) {
     rec->CompleteSpanMs(obs::Cat::kGc, "concurrent_mode_failure", pause_ms,
                         static_cast<double>(st.full_count),
@@ -569,7 +600,59 @@ void CmsCollector::PostMinor() {
   if (old_used_bytes() * 10 > old_capacity * 7 &&
       minors_since_cycle_ >= kMinorsPerCmsCycle) {
     minors_since_cycle_ = 0;
-    CollectFull();
+    if (cfg_.pause_budget_ms > 0) {
+      // Budgeted mode: snapshot the roots now (the young generation was
+      // just emptied) and let allocation ticks drain the mark in bounded
+      // slices; the sweep runs when the cycle completes.
+      marker_.Begin(heap_->NextGcEpoch());
+    } else {
+      CollectFull();
+    }
+  }
+}
+
+void CmsCollector::IncrementalMarkTick() {
+  if (!marker_.active()) return;
+  if (marker_.Step(cfg_.pause_budget_ms, /*standalone=*/true)) {
+    FinishIncrementalCycle();
+  }
+}
+
+void CmsCollector::CompleteActiveCycle() {
+  marker_.FinishAll(cfg_.pause_budget_ms);
+  FinishIncrementalCycle();
+}
+
+void CmsCollector::FinishIncrementalCycle() {
+  DECA_CHECK(!marker_.active());
+  Stopwatch sw;
+  uint64_t epoch = marker_.epoch();
+  SweepOld(epoch);
+  // Drop remembered-set entries that died in this cycle (mirrors the
+  // monolithic CollectFull).
+  std::vector<ObjRef> survivors;
+  survivors.reserve(remset_.size());
+  for (ObjRef o : remset_) {
+    if (GcIsMarkedIn(heap_->GcWordOf(o), epoch)) {
+      survivors.push_back(o);
+    }
+  }
+  remset_.swap(survivors);
+
+  double total = sw.ElapsedMillis();
+  GcStats& st = heap_->mutable_stats();
+  st.full_count += 1;
+  st.full_pause_ms += total * cfg_.concurrent_pause_share;
+  st.concurrent_ms += total * (1.0 - cfg_.concurrent_pause_share);
+  heap_->RecordPauseMs(total * cfg_.concurrent_pause_share);
+  if (auto* rec = obs::Current()) {
+    rec->CompleteSpanMs(obs::Cat::kGc, "full_pause",
+                        total * cfg_.concurrent_pause_share,
+                        static_cast<double>(st.full_count),
+                        static_cast<double>(old_used_bytes()));
+    rec->CompleteSpanMs(obs::Cat::kGc, "concurrent_sweep",
+                        total * (1.0 - cfg_.concurrent_pause_share),
+                        static_cast<double>(st.full_count));
   }
 }
 

@@ -6,6 +6,7 @@
 
 #include "jvm/collector.h"
 #include "jvm/heap_config.h"
+#include "jvm/incremental_mark.h"
 
 namespace deca::jvm {
 
@@ -65,7 +66,10 @@ class GenCollectorBase : public Collector {
   // -- shared algorithms ----------------------------------------------------
 
   /// Marks all reachable objects; returns total live bytes. `epoch` is the
-  /// fresh mark epoch.
+  /// fresh mark epoch. With a pause budget configured the mark runs as
+  /// back-to-back budget-bounded slices (identical marked set, bounded
+  /// per-slice pause samples); otherwise the historical monolithic pass,
+  /// recorded as a single slice.
   size_t MarkAll(uint64_t epoch);
 
   /// Global sliding compaction of all spaces into the start of the old
@@ -118,6 +122,7 @@ class GenCollectorBase : public Collector {
   std::vector<ObjRef> remset_;     // old objects that may hold young refs
   std::vector<ObjRef> worklist_;   // evacuation scan queue (reused)
   std::vector<ObjRef> mark_stack_; // marking stack (reused)
+  IncrementalMarker marker_;       // resumable mark state (budgeted mode)
   bool pending_slack8_ = false;    // slack of the most recent allocation
   size_t promoted_bytes_last_minor_ = 0;
   size_t promoted_bytes_cur_minor_ = 0;
@@ -153,7 +158,13 @@ class CmsCollector : public GenCollectorBase {
  public:
   CmsCollector(Heap* heap, const HeapConfig& config);
 
+  /// Force-completes any active incremental cycle (evacuation would
+  /// invalidate its mark state), then delegates to the base.
+  void CollectMinor() override;
   void CollectFull() override;
+  /// Advances the background cycle by one budgeted slice; on completion
+  /// runs the consuming sweep.
+  void IncrementalMarkTick() override;
   size_t old_used_bytes() const override;
   const char* name() const override { return "CMS"; }
 
@@ -183,6 +194,14 @@ class CmsCollector : public GenCollectorBase {
   /// Writes a class-0 filler object over [begin, begin+bytes).
   void WriteFreeChunk(uint8_t* begin, size_t bytes);
   void SweepOld(uint64_t epoch);
+
+  /// Consumes a completed incremental mark: sweeps the old generation and
+  /// filters the remembered set, charging the sweep like the monolithic
+  /// cycle (mostly concurrent). The marker must be inactive.
+  void FinishIncrementalCycle();
+  /// Forced completion: drains the remaining gray set in budget-bounded
+  /// back-to-back slices, then consumes the cycle.
+  void CompleteActiveCycle();
 
   static constexpr int kMinorsPerCmsCycle = 8;
 

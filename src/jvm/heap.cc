@@ -7,9 +7,19 @@
 
 #include "jvm/g1_collector.h"
 #include "jvm/gen_collector.h"
+#include "jvm/heap_profiler.h"
+#include "jvm/incremental_mark.h"
 #include "obs/trace.h"
 
 namespace deca::jvm {
+
+namespace {
+// Allocation bytes between incremental-mark ticks while a cycle is active:
+// small enough that a cycle makes steady progress under allocation
+// pressure, large enough that the tick check stays off the fast path's
+// critical cost (one add + compare per allocation).
+constexpr uint32_t kIncrementalTickBytes = 64u << 10;
+}  // namespace
 
 const char* GcAlgorithmName(GcAlgorithm a) {
   switch (a) {
@@ -52,12 +62,20 @@ std::unique_ptr<Collector> Heap::MakeCollector() {
 
 void Heap::Reset() {
   AssertMutator();
+  // An in-flight incremental mark cycle dies with the process: drop the
+  // registration before the collector (which owns the marker) is torn
+  // down.
+  if (active_marker_ != nullptr) active_marker_->Abandon();
+  active_marker_ = nullptr;
+  tick_bytes_ = 0;
   collector_.reset();
   // Zero the buffer so a replayed allocation history observes exactly the
   // bytes a freshly constructed heap would (make_unique value-initializes).
   std::memset(base_, 0, buffer_bytes_);
   collector_ = MakeCollector();
   stats_ = GcStats();
+  pause_hist_ = Histogram();
+  slice_hist_ = Histogram();
   gc_epoch_ = 0;
   handle_slots_.clear();
   handle_top_ = 0;
@@ -91,11 +109,47 @@ std::string Heap::DumpState() const {
   return os.str();
 }
 
+void Heap::SatbLogOverwrite(ObjRef old_value) {
+  if (old_value != kNullRef) active_marker_->OnRefOverwrite(old_value);
+}
+
+void Heap::MarkerOnAllocate(ObjRef r) { active_marker_->OnAllocate(r); }
+
+void Heap::ProfilerOnAllocate(ObjRef r, uint32_t bytes) {
+  alloc_profiler_->OnAllocate(this, r, bytes);
+}
+
+void Heap::MaybeIncrementalTick(uint32_t bytes) {
+  tick_bytes_ += bytes;
+  if (tick_bytes_ < kIncrementalTickBytes) return;
+  tick_bytes_ = 0;
+  collector_->IncrementalMarkTick();
+}
+
+void Heap::RecordMarkSlice(double ms, bool standalone) {
+  stats_.mark_slices += 1;
+  slice_hist_.Add(ms);
+  if (standalone) {
+    stats_.full_pause_ms += ms;
+    pause_hist_.Add(ms);
+  }
+  if (auto* rec = obs::Current()) {
+    rec->CompleteSpanMs(obs::Cat::kGc, "mark_slice", ms,
+                        static_cast<double>(stats_.mark_slices),
+                        standalone ? 1.0 : 0.0);
+  }
+}
+
 ObjRef Heap::AllocateImpl(uint32_t class_id, uint32_t length,
                           bool die_on_oom) {
   AssertMutator();
   const ClassInfo& ci = registry_->Get(class_id);
   uint32_t total = ci.ObjectBytes(length);
+  // Advance an active incremental mark cycle before touching the
+  // allocator: a tick may complete the cycle, whose consuming collection
+  // (sweep or evacuation) must never run while a just-allocated object is
+  // held as a raw ref.
+  if (active_marker_ != nullptr) MaybeIncrementalTick(total);
   bool large = total >= config_.large_object_bytes;
   bool forced = false;
   uint8_t* p = nullptr;
@@ -142,6 +196,10 @@ ObjRef Heap::AllocateImpl(uint32_t class_id, uint32_t length,
   ObjRef r = RefOf(p);
   MetaOf(r) = class_id | (collector_->TakeAllocSlack() ? kSlack8Bit : 0);
   LengthOf(r) = length;
+  // The tick above may have completed the cycle, so re-check before
+  // allocating black.
+  if (active_marker_ != nullptr) MarkerOnAllocate(r);
+  if (alloc_profiler_ != nullptr) ProfilerOnAllocate(r, total);
   stats_.objects_allocated += 1;
   stats_.bytes_allocated += total;
   MaybeReportOccupancy();

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/histogram.h"
 #include "common/logging.h"
 #include "jvm/class_registry.h"
 #include "jvm/collector.h"
@@ -22,7 +23,9 @@
 
 namespace deca::jvm {
 
+class AllocationSiteProfiler;
 class Heap;
+class IncrementalMarker;
 
 /// Thrown (instead of aborting) when a heap with `oom_throws` enabled
 /// cannot satisfy an allocation even after its degradation ladder. The
@@ -183,7 +186,9 @@ class Heap {
   void SetRefField(ObjRef obj, uint32_t offset, ObjRef value) {
     AssertMutator();
     DECA_DCHECK_LE(offset + sizeof(ObjRef), ClassOf(obj).payload_bytes());
-    StoreRaw(Addr(obj) + kHeaderBytes + offset, value);
+    uint8_t* slot = Addr(obj) + kHeaderBytes + offset;
+    if (active_marker_ != nullptr) SatbLogOverwrite(LoadRaw<ObjRef>(slot));
+    StoreRaw(slot, value);
     if (value != kNullRef) collector_->WriteBarrier(obj, value);
   }
 
@@ -203,6 +208,7 @@ class Heap {
     return GetElem<ObjRef>(arr, i);
   }
   void SetRefElem(ObjRef arr, uint32_t i, ObjRef value) {
+    if (active_marker_ != nullptr) SatbLogOverwrite(GetElem<ObjRef>(arr, i));
     SetElem<ObjRef>(arr, i, value);
     if (value != kNullRef) collector_->WriteBarrier(arr, value);
   }
@@ -272,6 +278,39 @@ class Heap {
 
   const GcStats& stats() const { return stats_; }
   GcStats& mutable_stats() { return stats_; }
+
+  // -- Pause accounting -----------------------------------------------------
+
+  /// Records one mutator-visible stop-the-world pause sample. Collectors
+  /// call this for every minor/full/mixed pause and for standalone mark
+  /// slices, so percentiles exist at any pause budget.
+  void RecordPauseMs(double ms) { pause_hist_.Add(ms); }
+
+  /// Records one executed mark slice: bumps the exact slice counter, adds
+  /// the duration to the slice histogram, and emits a "mark_slice" trace
+  /// span. `standalone` marks a mutator-visible pause (a slice run between
+  /// mutator work, not inside an enclosing collection pause): it is also
+  /// charged to full_pause_ms and the pause histogram.
+  void RecordMarkSlice(double ms, bool standalone);
+
+  /// Every stop-the-world pause (one sample per pause event).
+  const Histogram& pause_hist() const { return pause_hist_; }
+  /// Mark-slice durations (monolithic marks count as one slice).
+  const Histogram& mark_slice_hist() const { return slice_hist_; }
+
+  // -- Incremental marking --------------------------------------------------
+
+  /// Registered by IncrementalMarker::Begin; while non-null the ref-store
+  /// paths SATB-log overwritten values and new objects allocate black.
+  void set_active_marker(IncrementalMarker* m) { active_marker_ = m; }
+  IncrementalMarker* active_marker() const { return active_marker_; }
+
+  // -- Allocation profiling -------------------------------------------------
+
+  /// Attaches (or detaches, with nullptr) a sampling allocation profiler.
+  /// Not owned; the caller must detach it before destroying it.
+  void SetAllocProfiler(AllocationSiteProfiler* p) { alloc_profiler_ = p; }
+  AllocationSiteProfiler* alloc_profiler() const { return alloc_profiler_; }
 
   // -- OOM policy & fault tolerance ----------------------------------------
 
@@ -387,6 +426,13 @@ class Heap {
   ObjRef AllocateImpl(uint32_t class_id, uint32_t length, bool die_on_oom);
   std::unique_ptr<Collector> MakeCollector();
 
+  /// Out-of-line marker/profiler hooks (keep heap.h free of their
+  /// definitions; the null checks stay inline at the call sites).
+  void SatbLogOverwrite(ObjRef old_value);
+  void MarkerOnAllocate(ObjRef r);
+  void ProfilerOnAllocate(ObjRef r, uint32_t bytes);
+  void MaybeIncrementalTick(uint32_t bytes);
+
   /// Reports occupancy to the memory manager when a collection has run
   /// since the last report (one counter compare on the allocation path).
   void MaybeReportOccupancy() {
@@ -404,6 +450,11 @@ class Heap {
   std::unique_ptr<Collector> collector_;
   GcStats stats_;
   uint64_t gc_epoch_ = 0;
+  Histogram pause_hist_;
+  Histogram slice_hist_;
+  IncrementalMarker* active_marker_ = nullptr;  // owned by the collector
+  AllocationSiteProfiler* alloc_profiler_ = nullptr;  // externally owned
+  uint32_t tick_bytes_ = 0;  // allocated bytes since the last mark tick
 
   std::vector<ObjRef> handle_slots_;
   size_t handle_top_ = 0;

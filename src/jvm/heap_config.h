@@ -53,6 +53,24 @@ struct HeapConfig {
   /// stop-the-world pause; the remainder is accounted as concurrent work
   /// (running on spare cores in a real deployment).
   double concurrent_pause_share = 0.1;
+
+  /// Marking pause budget in milliseconds. 0 (default) keeps the
+  /// monolithic stop-the-world mark phases byte-for-byte identical to the
+  /// historical behaviour. > 0 splits every mark into resumable slices of
+  /// at most this duration: allocation-triggered collections run their
+  /// slices back to back inside the pause (same marked set, bounded slice
+  /// samples), while occupancy-triggered cycles (CMS background cycle, G1
+  /// IHOP mark) become genuinely incremental with mutator progress between
+  /// slices (SATB dirty-logging keeps them sound).
+  double pause_budget_ms = 0.0;
+
+  /// Sampling allocation profiler: take one survival sample every this
+  /// many allocated bytes (0 = profiler disabled). Sampling is
+  /// deterministic: the first sample point is derived from profile_seed.
+  size_t profile_sample_bytes = 0;
+
+  /// Seed for the profiler's initial sampling offset.
+  uint64_t profile_seed = 1;
 };
 
 }  // namespace deca::jvm

@@ -1,0 +1,92 @@
+#ifndef DECA_JVM_INCREMENTAL_MARK_H_
+#define DECA_JVM_INCREMENTAL_MARK_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "jvm/object_model.h"
+
+namespace deca::jvm {
+
+class Heap;
+
+/// Resumable snapshot-at-the-beginning marking. A cycle begins with a
+/// stop-the-world root scan (Begin), then drains the gray stack in slices
+/// bounded by a pause budget (Step), with mutator progress allowed between
+/// slices. Soundness under mutation follows the classic SATB argument:
+///
+///  - Begin grays every root-referenced object, snapshotting the root set.
+///  - Every in-heap reference-slot overwrite logs the old value through
+///    OnRefOverwrite (the heap's ref-store path calls it while a marker is
+///    active), so an edge deleted mid-cycle cannot hide its target.
+///  - Objects allocated mid-cycle are marked black on allocation
+///    (OnAllocate), so the sweep/reclaim that consumes the mark cannot
+///    free them.
+///
+/// Together these guarantee every object reachable at Begin (plus every
+/// object allocated during the cycle) is marked; objects that die
+/// mid-cycle may float one cycle, which only delays reclamation.
+///
+/// The marker does NOT tolerate concurrent moving collections: any
+/// evacuation or compaction invalidates the gray stack and the epoch
+/// marks, so collectors force-finish an active cycle (back-to-back
+/// budgeted slices) before moving anything.
+class IncrementalMarker {
+ public:
+  explicit IncrementalMarker(Heap* heap) : heap_(heap) {}
+
+  IncrementalMarker(const IncrementalMarker&) = delete;
+  IncrementalMarker& operator=(const IncrementalMarker&) = delete;
+
+  bool active() const { return active_; }
+  uint64_t epoch() const { return epoch_; }
+  /// Live bytes attributed so far (final once the cycle completes).
+  size_t live_bytes() const { return live_bytes_; }
+
+  /// Starts a cycle: snapshots the roots (one slice-sized pause is
+  /// recorded for the scan) and registers this marker with the heap so
+  /// the mutator's SATB / allocate-black hooks fire. `on_mark` is invoked
+  /// once per marked object (G1 attributes region live bytes with it).
+  void Begin(uint64_t epoch, std::function<void(ObjRef)> on_mark = nullptr);
+
+  /// Drains gray objects for at most `budget_ms` (<= 0 drains fully).
+  /// Records the slice into the heap's mark-slice histogram and trace
+  /// ring. `standalone` marks the slice as a mutator-visible pause (a
+  /// tick between mutator work) rather than a sub-phase of an enclosing
+  /// collection pause. Returns true when marking is complete; the marker
+  /// deregisters itself but keeps live_bytes()/epoch() readable.
+  bool Step(double budget_ms, bool standalone);
+
+  /// Runs Step back to back until done; returns total live bytes.
+  size_t FinishAll(double budget_ms);
+
+  /// Drops all cycle state without completing (crash-wipe / heap reset).
+  void Abandon();
+
+  /// SATB write barrier: called with the about-to-be-overwritten value of
+  /// a reference slot. Grays it if unmarked.
+  void OnRefOverwrite(ObjRef old_value);
+
+  /// Allocate-black: new objects are marked immediately so they survive
+  /// the sweep that consumes this cycle's marks. Runs on_mark so
+  /// collector-side liveness accounting (G1 region live bytes) includes
+  /// them.
+  void OnAllocate(ObjRef r);
+
+ private:
+  void TryMark(ObjRef r);
+  void Deactivate();
+
+  Heap* heap_;
+  bool active_ = false;
+  uint64_t epoch_ = 0;
+  size_t live_bytes_ = 0;
+  uint64_t count_ = 0;  // objects marked this cycle (folded into stats)
+  std::vector<ObjRef> gray_;
+  std::function<void(ObjRef)> on_mark_;
+};
+
+}  // namespace deca::jvm
+
+#endif  // DECA_JVM_INCREMENTAL_MARK_H_

@@ -86,6 +86,18 @@ std::string ToJson(const RunReport& report) {
              ", \"promote_p50_ms\": " + JsonNumber(t.promote_p50_ms) +
              ", \"promote_p99_ms\": " + JsonNumber(t.promote_p99_ms) + "}";
     }
+    if (run.pauses.present) {
+      const PauseAgg& p = run.pauses;
+      out += ",\n     \"pauses\": {\"mark_slices\": " +
+             std::to_string(p.mark_slices) +
+             ", \"pause_events\": " + std::to_string(p.pause_events) +
+             ", \"pause_p50_ms\": " + JsonNumber(p.pause_p50_ms) +
+             ", \"pause_p99_ms\": " + JsonNumber(p.pause_p99_ms) +
+             ", \"pause_max_ms\": " + JsonNumber(p.pause_max_ms) +
+             ", \"slice_p50_ms\": " + JsonNumber(p.slice_p50_ms) +
+             ", \"slice_p99_ms\": " + JsonNumber(p.slice_p99_ms) +
+             ", \"slice_max_ms\": " + JsonNumber(p.slice_max_ms) + "}";
+    }
     out += "}";
   }
   out += "\n  ]\n}\n";
@@ -181,6 +193,20 @@ bool FromJson(std::string_view json, RunReport* out, std::string* err) {
       run.tier.promote_p50_ms = tier->Num("promote_p50_ms");
       run.tier.promote_p99_ms = tier->Num("promote_p99_ms");
     }
+    if (const JsonValue* pauses = jr.Find("pauses");
+        pauses != nullptr && pauses->is(JsonValue::Type::kObject)) {
+      run.pauses.present = true;
+      run.pauses.mark_slices =
+          static_cast<uint64_t>(pauses->Num("mark_slices"));
+      run.pauses.pause_events =
+          static_cast<uint64_t>(pauses->Num("pause_events"));
+      run.pauses.pause_p50_ms = pauses->Num("pause_p50_ms");
+      run.pauses.pause_p99_ms = pauses->Num("pause_p99_ms");
+      run.pauses.pause_max_ms = pauses->Num("pause_max_ms");
+      run.pauses.slice_p50_ms = pauses->Num("slice_p50_ms");
+      run.pauses.slice_p99_ms = pauses->Num("slice_p99_ms");
+      run.pauses.slice_max_ms = pauses->Num("slice_max_ms");
+    }
     out->runs.push_back(std::move(run));
   }
   return true;
@@ -243,6 +269,22 @@ bool Validate(const RunReport& report, std::string* err) {
         return fail("tier promote p50 > p99 in '" + run.label + "'");
       }
     }
+    if (run.pauses.present) {
+      const PauseAgg& p = run.pauses;
+      for (double v : {p.pause_p50_ms, p.pause_p99_ms, p.pause_max_ms,
+                       p.slice_p50_ms, p.slice_p99_ms, p.slice_max_ms}) {
+        if (!std::isfinite(v) || v < 0) {
+          return fail("bad pause aggregate in '" + run.label + "'");
+        }
+      }
+      if (p.pause_p50_ms > p.pause_p99_ms ||
+          p.pause_p99_ms > p.pause_max_ms ||
+          p.slice_p50_ms > p.slice_p99_ms ||
+          p.slice_p99_ms > p.slice_max_ms) {
+        return fail("pause percentiles out of order in '" + run.label +
+                    "'");
+      }
+    }
   }
   return true;
 }
@@ -296,6 +338,18 @@ bool ReportsEqual(const RunReport& a, const RunReport& b) {
         ta.admit_rejects != tb.admit_rejects ||
         ta.promote_p50_ms != tb.promote_p50_ms ||
         ta.promote_p99_ms != tb.promote_p99_ms) {
+      return false;
+    }
+    const PauseAgg& pa = ra.pauses;
+    const PauseAgg& pb = rb.pauses;
+    if (pa.present != pb.present || pa.mark_slices != pb.mark_slices ||
+        pa.pause_events != pb.pause_events ||
+        pa.pause_p50_ms != pb.pause_p50_ms ||
+        pa.pause_p99_ms != pb.pause_p99_ms ||
+        pa.pause_max_ms != pb.pause_max_ms ||
+        pa.slice_p50_ms != pb.slice_p50_ms ||
+        pa.slice_p99_ms != pb.slice_p99_ms ||
+        pa.slice_max_ms != pb.slice_max_ms) {
       return false;
     }
   }
@@ -455,6 +509,44 @@ DiffResult DiffReports(const RunReport& baseline, const RunReport& current,
       if (!opt.exact_only) {
         promote("promote_p50_ms", bt.promote_p50_ms, ct.promote_p50_ms);
         promote("promote_p99_ms", bt.promote_p99_ms, ct.promote_p99_ms);
+      }
+    }
+    if (base_run.pauses.present) {
+      const PauseAgg& bp = base_run.pauses;
+      const PauseAgg& cp = cur_run->pauses;
+      if (!cp.present) {
+        fail(base_run.label + ": pause aggregates missing from current "
+             "report");
+        continue;
+      }
+      // Slice/pause event counts are deterministic at pause_budget_ms=0
+      // (one slice per mark): bit-compare. Budgeted runs must not be
+      // diffed against unbudgeted baselines (use --slo instead).
+      auto counter = [&](const char* name, uint64_t bv, uint64_t cv) {
+        if (bv != cv) {
+          fail(base_run.label + ": pause counter '" + std::string(name) +
+               "' changed " + std::to_string(bv) + " -> " +
+               std::to_string(cv));
+        }
+      };
+      counter("mark_slices", bp.mark_slices, cp.mark_slices);
+      counter("pause_events", bp.pause_events, cp.pause_events);
+      // Percentiles are wall times: regression threshold only.
+      auto pause_time = [&](const char* name, double bv, double cv) {
+        if (cv > bv * (1.0 + opt.time_threshold) &&
+            cv - bv > opt.time_floor_ms) {
+          fail(base_run.label + ": pause time '" + std::string(name) +
+               "' regressed " + JsonNumber(bv) + " -> " + JsonNumber(cv) +
+               " ms");
+        }
+      };
+      if (!opt.exact_only) {
+        pause_time("pause_p50_ms", bp.pause_p50_ms, cp.pause_p50_ms);
+        pause_time("pause_p99_ms", bp.pause_p99_ms, cp.pause_p99_ms);
+        pause_time("pause_max_ms", bp.pause_max_ms, cp.pause_max_ms);
+        pause_time("slice_p50_ms", bp.slice_p50_ms, cp.slice_p50_ms);
+        pause_time("slice_p99_ms", bp.slice_p99_ms, cp.slice_p99_ms);
+        pause_time("slice_max_ms", bp.slice_max_ms, cp.slice_max_ms);
       }
     }
   }

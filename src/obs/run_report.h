@@ -58,6 +58,25 @@ struct TierAgg {
   double promote_p99_ms = 0;
 };
 
+/// GC pause plane of a run (schema v4). `mark_slices` counts every
+/// recorded mark slice (monolithic marks count one each, so at
+/// pause_budget_ms=0 it is a deterministic counter; at budget > 0 the
+/// slice count is timing-dependent — budgeted runs are gated with
+/// report_diff --slo assertions, not baseline diffs). `pause_events`
+/// counts mutator-visible stop-the-world pauses. The percentiles are wall
+/// times over the pause/slice histograms and are threshold-compared.
+struct PauseAgg {
+  bool present = false;
+  uint64_t mark_slices = 0;
+  uint64_t pause_events = 0;
+  double pause_p50_ms = 0;
+  double pause_p99_ms = 0;
+  double pause_max_ms = 0;
+  double slice_p50_ms = 0;
+  double slice_p99_ms = 0;
+  double slice_max_ms = 0;
+};
+
 /// One workload run (one mode / configuration) inside a bench binary.
 struct ReportRun {
   std::string label;  // e.g. "LR-large/Deca"
@@ -65,18 +84,20 @@ struct ReportRun {
   std::vector<SpanAgg> spans;  // per-(cat,name) trace aggregates
   EpochAgg epochs;             // streaming runs only
   TierAgg tier;                // tiered-store runs only
+  PauseAgg pauses;             // GC pause/mark-slice histograms
 
   const ReportMetric* Find(std::string_view name) const;
   void Add(std::string_view name, double value, bool exact);
 };
 
 /// The machine-readable result of one bench binary execution
-/// (`--json-out=` / `DECA_JSON_OUT`). Schema "deca-run-report" v3
+/// (`--json-out=` / `DECA_JSON_OUT`). Schema "deca-run-report" v4
 /// (v2 added the optional per-run "epochs" aggregate, v3 the optional
-/// per-run "tier" aggregate; older reports are still parsed).
+/// per-run "tier" aggregate, v4 the optional per-run "pauses" aggregate;
+/// older reports are still parsed).
 struct RunReport {
   static constexpr const char* kSchema = "deca-run-report";
-  static constexpr int kVersion = 3;
+  static constexpr int kVersion = 4;
   static constexpr int kMinVersion = 1;
 
   std::string bench;  // binary name, e.g. "fig11_breakdown"

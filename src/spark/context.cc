@@ -355,6 +355,19 @@ ExecutorSnapshot SparkContext::BuildLocalSnapshot() const {
   s.pressure_evictions = e->cache()->pressure_evictions();
   s.tier = e->cache()->tier_counters();
   s.memory = e->memory()->Snapshot();
+  {
+    const jvm::Heap* h = e->heap();
+    const Histogram& ph = h->pause_hist();
+    const Histogram& sh = h->mark_slice_hist();
+    s.mark_slices = h->stats().mark_slices;
+    s.pause_events = ph.count();
+    s.pause_p50_ms = ph.Percentile(50);
+    s.pause_p99_ms = ph.Percentile(99);
+    s.pause_max_ms = ph.Max();
+    s.slice_p50_ms = sh.Percentile(50);
+    s.slice_p99_ms = sh.Percentile(99);
+    s.slice_max_ms = sh.Max();
+  }
   const int n = shuffle_->num_shuffles();
   s.shuffle_bytes.resize(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -686,6 +699,39 @@ uint64_t SparkContext::TotalFullGcs() const {
     total += e->heap()->stats().full_count;
   }
   return total;
+}
+
+GcPauseAggregate SparkContext::TotalGcPauses() const {
+  GcPauseAggregate agg;
+  auto fold_max = [&agg](uint64_t slices, uint64_t events, double pp50,
+                         double pp99, double pmax, double sp50, double sp99,
+                         double smax) {
+    agg.mark_slices += slices;
+    agg.pause_events += events;
+    agg.pause_p50_ms = std::max(agg.pause_p50_ms, pp50);
+    agg.pause_p99_ms = std::max(agg.pause_p99_ms, pp99);
+    agg.pause_max_ms = std::max(agg.pause_max_ms, pmax);
+    agg.slice_p50_ms = std::max(agg.slice_p50_ms, sp50);
+    agg.slice_p99_ms = std::max(agg.slice_p99_ms, sp99);
+    agg.slice_max_ms = std::max(agg.slice_max_ms, smax);
+  };
+  if (config_.runtime.role == DistRole::kDriver) {
+    for (const auto& s : snapshots_) {
+      fold_max(s.mark_slices, s.pause_events, s.pause_p50_ms, s.pause_p99_ms,
+               s.pause_max_ms, s.slice_p50_ms, s.slice_p99_ms,
+               s.slice_max_ms);
+    }
+    return agg;
+  }
+  for (const auto& e : executors_) {
+    const jvm::Heap* h = e->heap();
+    const Histogram& ph = h->pause_hist();
+    const Histogram& sh = h->mark_slice_hist();
+    fold_max(h->stats().mark_slices, ph.count(), ph.Percentile(50),
+             ph.Percentile(99), ph.Max(), sh.Percentile(50),
+             sh.Percentile(99), sh.Max());
+  }
+  return agg;
 }
 
 uint64_t SparkContext::CachedMemoryBytes() const {

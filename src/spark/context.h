@@ -191,6 +191,11 @@ class SparkContext {
   double TotalConcurrentGcMs() const;
   uint64_t TotalMinorGcs() const;
   uint64_t TotalFullGcs() const;
+  /// GC pause plane (schema v4): slice/pause counts summed across
+  /// executors, latency percentiles composed by max (the job-level tail
+  /// is bounded by the worst executor). Role-aware like the other
+  /// getters.
+  GcPauseAggregate TotalGcPauses() const;
   /// Sum of current in-memory cached bytes across executors.
   uint64_t CachedMemoryBytes() const;
   uint64_t PeakCachedMemoryBytes() const;

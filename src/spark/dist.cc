@@ -51,6 +51,14 @@ void ExecutorSnapshot::Encode(ByteWriter* w) const {
   w->WriteVarU64(memory.heap_capacity);
   w->WriteVarU64(memory.heap_used);
   w->WriteVarU64(memory.heap_old_used);
+  w->WriteVarU64(mark_slices);
+  w->WriteVarU64(pause_events);
+  w->Write<double>(pause_p50_ms);
+  w->Write<double>(pause_p99_ms);
+  w->Write<double>(pause_max_ms);
+  w->Write<double>(slice_p50_ms);
+  w->Write<double>(slice_p99_ms);
+  w->Write<double>(slice_max_ms);
   w->WriteVarU64(shuffle_bytes.size());
   for (uint64_t b : shuffle_bytes) w->WriteVarU64(b);
 }
@@ -95,6 +103,14 @@ ExecutorSnapshot ExecutorSnapshot::Decode(ByteReader* r) {
   s.memory.heap_capacity = r->ReadVarU64();
   s.memory.heap_used = r->ReadVarU64();
   s.memory.heap_old_used = r->ReadVarU64();
+  s.mark_slices = r->ReadVarU64();
+  s.pause_events = r->ReadVarU64();
+  s.pause_p50_ms = r->Read<double>();
+  s.pause_p99_ms = r->Read<double>();
+  s.pause_max_ms = r->Read<double>();
+  s.slice_p50_ms = r->Read<double>();
+  s.slice_p99_ms = r->Read<double>();
+  s.slice_max_ms = r->Read<double>();
   s.shuffle_bytes.resize(r->ReadVarU64());
   for (auto& b : s.shuffle_bytes) b = r->ReadVarU64();
   return s;

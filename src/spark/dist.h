@@ -86,6 +86,19 @@ struct ClusterCounters {
 /// getters from the latest snapshots, so bench/report output is
 /// identical to the in-process run (each daemon reports only its own
 /// executor; the sum across daemons equals the in-process sum).
+/// Job-level GC pause aggregate (SparkContext::TotalGcPauses): counters
+/// summed across executor heaps, percentiles composed by max.
+struct GcPauseAggregate {
+  uint64_t mark_slices = 0;
+  uint64_t pause_events = 0;
+  double pause_p50_ms = 0;
+  double pause_p99_ms = 0;
+  double pause_max_ms = 0;
+  double slice_p50_ms = 0;
+  double slice_p99_ms = 0;
+  double slice_max_ms = 0;
+};
+
 struct ExecutorSnapshot {
   double gc_pause_ms = 0;
   double concurrent_gc_ms = 0;
@@ -99,6 +112,17 @@ struct ExecutorSnapshot {
   /// Block-store tier plane (per-tier residency, hits, transitions).
   TierCounters tier;
   memory::MemoryStats memory;
+  /// GC pause plane: mark-slice count, stop-the-world pause events, and
+  /// pause/slice latency percentiles of this executor's heap. The driver
+  /// sums the counters and composes percentiles by max across executors.
+  uint64_t mark_slices = 0;
+  uint64_t pause_events = 0;
+  double pause_p50_ms = 0;
+  double pause_p99_ms = 0;
+  double pause_max_ms = 0;
+  double slice_p50_ms = 0;
+  double slice_p99_ms = 0;
+  double slice_max_ms = 0;
   /// Local shuffle-payload bytes per shuffle id (this executor's
   /// deposits only; the driver sums across executors).
   std::vector<uint64_t> shuffle_bytes;

@@ -57,6 +57,7 @@ void FinalizeResult(spark::SparkContext* ctx, RunResult* result) {
   result->executor_memory = ctx->ExecutorMemorySnapshots();
   result->tier_active = ctx->config().t1_enabled();
   result->tier = ctx->TotalTierCounters();
+  result->pauses = ctx->TotalGcPauses();
   if (ctx->net_stats() != nullptr) {
     result->net_active = true;
     result->net = ctx->net_stats()->Snapshot();

@@ -78,6 +78,12 @@ struct RunResult {
   bool tier_active = false;
   spark::TierCounters tier;
 
+  // GC pause plane (schema v4): mark-slice / pause-event counts summed
+  // across executors, pause and slice latency percentiles composed by
+  // max. mark_slices is deterministic at pause_budget_ms=0 (monolithic
+  // marks record exactly one slice each).
+  spark::GcPauseAggregate pauses;
+
   // Streaming plane (all zero unless the run was a micro-batch stream).
   // Pauses are per-epoch stop-the-world GC + region-reclaim stalls; the
   // footprint samples are the data-plane bytes (native page charges +

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "analysis/global_classifier.h"
+#include "analysis/profiled_classifier.h"
 #include "cluster/scoped_job.h"
 #include "common/clock.h"
 #include "common/logging.h"
@@ -12,6 +14,7 @@
 
 namespace deca::workloads {
 
+using analysis::SizeType;
 using jvm::FieldKind;
 using jvm::HandleScope;
 using jvm::ObjRef;
@@ -66,6 +69,71 @@ struct WcTypes {
   spark::ShuffleOps ops;
 };
 
+// GCC at -O3 flags the aggregate Statement initializers below as
+// maybe-uninitialized through the inlined std::string members of FieldRef
+// — a known reachability false positive (every string is constructed
+// before use).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+/// Static size-type of the map UDF's (word, 1) record: Tuple2's `_1`/`_2`
+/// are Scala vals (final) referencing boxed longs whose payload is one
+/// final primitive, so the classification proves SFST; the call graph
+/// records the UDF's allocation sites for the points-to inference.
+SizeType StaticTupleSizeType() {
+  analysis::TypeUniverse u;
+  auto* lng = u.DefineClass("java.lang.Long");
+  u.AddField(lng, "value", /*is_final=*/true,
+             {u.Primitive(FieldKind::kLong)});
+  auto* t2 = u.DefineClass("scala.Tuple2");
+  u.AddField(t2, "_1", /*is_final=*/true, {lng});
+  u.AddField(t2, "_2", /*is_final=*/true, {lng});
+  analysis::MethodInfo map_udf;
+  map_udf.name = "WC.map";
+  map_udf.statements.push_back({analysis::Statement::Kind::kNewObjectAssign,
+                                {t2, "_1"},
+                                lng,
+                                {},
+                                ""});
+  map_udf.statements.push_back({analysis::Statement::Kind::kNewObjectAssign,
+                                {t2, "_2"},
+                                lng,
+                                {},
+                                ""});
+  analysis::CallGraph cg;
+  cg.AddMethod(map_udf);
+  cg.SetEntry("WC.map");
+  return analysis::GlobalClassifier(&cg).Classify(t2);
+}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+/// Online size-type of the Tuple2 record: calibrates the sampling
+/// allocation profiler on a scratch heap allocating the same record graph
+/// the object-mode map stage builds (tuple + two boxed longs).
+SizeType ProfiledTupleSizeType(jvm::ClassRegistry* registry,
+                               uint32_t tuple2_cls,
+                               const jvm::HeapConfig& hc) {
+  analysis::CalibrationOptions opts;
+  if (hc.profile_sample_bytes > 0) opts.sample_bytes = hc.profile_sample_bytes;
+  opts.seed = hc.profile_seed;
+  analysis::ProfiledClassifier prof = analysis::CalibrateProfile(
+      registry, opts, [tuple2_cls](jvm::Heap* h) -> ObjRef {
+        HandleScope scope(h);
+        jvm::Handle key = scope.Make(
+            h->AllocateInstance(h->registry()->boxed_long_class()));
+        jvm::Handle one = scope.Make(
+            h->AllocateInstance(h->registry()->boxed_long_class()));
+        ObjRef tuple = h->AllocateInstance(tuple2_cls);
+        h->SetRefField(tuple, 0, key.get());
+        h->SetRefField(tuple, 4, one.get());
+        return tuple;
+      });
+  return prof.Classify(tuple2_cls);
+}
+
 }  // namespace
 
 WordCountResult RunWordCount(const WordCountParams& params) {
@@ -78,6 +146,23 @@ WordCountResult RunWordCount(const WordCountParams& params) {
   WcTypes types(ctx.registry());
 
   bool deca = params.mode == Mode::kDeca;
+  if (deca) {
+    // The optimizer's verdict gates the decomposed path. The static proof
+    // always runs; under DECA_LIFETIME_SOURCE=profiled the online verdict
+    // must agree with it before it may stand in (so executor heaps and
+    // digests are bit-identical across sources), and oracle asserts the
+    // author's ground truth against the same proof.
+    SizeType st = StaticTupleSizeType();
+    DECA_CHECK(st == SizeType::kStaticFixed)
+        << "WordCount Tuple2 must classify as SFST";
+    if (cfg.lifetime_source == spark::LifetimeSource::kProfiled) {
+      SizeType online =
+          ProfiledTupleSizeType(ctx.registry(), types.tuple2_cls, cfg.heap);
+      DECA_CHECK(online == st)
+          << "profiled Tuple2 verdict " << analysis::SizeTypeName(online)
+          << " disagrees with static " << analysis::SizeTypeName(st);
+    }
+  }
   // Heap profiling needs the mutating heap in this process; in process
   // mode executor 0's mutator lives in a daemon, so the profile is off.
   bool profile = params.profile && ctx.role() == spark::DistRole::kLocal;
