@@ -7,6 +7,13 @@
 # behaviour intentionally changed; wall-time drift alone is expected and
 # harmless (the gate's time threshold is loose).
 #
+# Reports are RunReport schema v5 (v4 files still parse): the `alloc`
+# aggregate records the allocator plane. alloc.allocs / alloc.frees /
+# alloc.bytes_requested are deterministic (identical under DECA_ARENA=0
+# and 1); the remaining alloc.* metrics are environment-dependent and
+# recorded as inexact. Baselines are generated arena-off — the CI arena
+# leg diffs DECA_ARENA=1 runs against them with --exact-only.
+#
 #   ./bench/update_baselines.sh [build-dir]
 set -euo pipefail
 

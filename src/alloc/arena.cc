@@ -1,0 +1,206 @@
+#include "alloc/arena.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+
+namespace deca::alloc {
+
+namespace {
+
+// Slabs at or above this size get madvise(DONTNEED) when they come back to
+// the central freelist: the VA stays pooled but the physical pages return
+// to the OS. Smaller classes churn too fast to be worth the syscall.
+constexpr size_t kReleaseThresholdBytes = 1u << 20;
+
+constexpr int kMinClassShift = 6;  // 64 bytes
+
+}  // namespace
+
+void AllocStats::Add(const AllocStats& o) {
+  alloc_calls += o.alloc_calls;
+  free_calls += o.free_calls;
+  bytes_requested += o.bytes_requested;
+  slab_allocs += o.slab_allocs;
+  slab_reuses += o.slab_reuses;
+  freelist_steals += o.freelist_steals;
+  remote_frees += o.remote_frees;
+  direct_maps += o.direct_maps;
+  direct_unmaps += o.direct_unmaps;
+  chunks_mapped += o.chunks_mapped;
+  hugepage_chunks += o.hugepage_chunks;
+  arena_bytes_reserved += o.arena_bytes_reserved;
+}
+
+int ArenaAllocator::SizeClass(size_t bytes) {
+  if (bytes > kMaxClassBytes) return -1;
+  size_t rounded = kMinClassBytes;
+  int cls = 0;
+  while (rounded < bytes) {
+    rounded <<= 1;
+    ++cls;
+  }
+  return cls;
+}
+
+size_t ArenaAllocator::ClassBytes(int cls) {
+  DECA_CHECK(cls >= 0 && cls < kNumClasses) << "bad size class " << cls;
+  return size_t{1} << (kMinClassShift + cls);
+}
+
+ArenaAllocator::ArenaAllocator(const ArenaOptions& options)
+    : options_(options) {
+  DECA_CHECK_GE(options_.chunk_bytes, kMaxClassBytes)
+      << "arena chunks must hold at least one max-class slab";
+}
+
+ArenaAllocator::~ArenaAllocator() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Chunk& c : chunks_) Unmap(c.map);
+}
+
+FreeNode* ArenaAllocator::CarveLocked(int cls, int want, int* taken) {
+  const size_t slab = ClassBytes(cls);
+  // Page-align big-class slabs so ReturnSlabs can ReleaseRange them.
+  const size_t align = std::min(slab, OsPageBytes());
+  if (chunks_.empty() ||
+      AlignUp(chunks_.back().bump, align) + slab > chunks_.back().map.bytes) {
+    MapRequest req;
+    req.bytes = std::max(options_.chunk_bytes, slab);
+    req.huge_pages = options_.huge_pages;
+    req.numa_policy = options_.numa_policy;
+    // Interleave rotates the hinted node per chunk; local leaves it to the
+    // faulting thread. Either way it is a hint until mbind is wired in.
+    req.numa_node =
+        options_.numa_policy == NumaPolicy::kInterleave
+            ? static_cast<int>(next_interleave_node_++)
+            : -1;
+    Chunk c;
+    c.map = MapAnonymous(req);
+    chunks_.push_back(c);
+    ++chunks_mapped_;
+    if (c.map.huge_backed) ++hugepage_chunks_;
+    bytes_reserved_ += c.map.bytes;
+  }
+  Chunk& c = chunks_.back();
+  c.bump = AlignUp(c.bump, align);
+  FreeNode* head = nullptr;
+  int n = 0;
+  while (n < want && c.bump + slab <= c.map.bytes) {
+    auto* node =
+        new (static_cast<uint8_t*>(c.map.addr) + c.bump) FreeNode{head};
+    head = node;
+    c.bump += slab;
+    ++n;
+  }
+  carved_count_[cls] += static_cast<uint64_t>(n);
+  *taken = n;
+  return head;
+}
+
+FreeNode* ArenaAllocator::TakeSlabs(int cls, int want, int* taken) {
+  DECA_CHECK_GT(want, 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  FreeNode* head = nullptr;
+  int n = 0;
+  while (n < want && central_[cls] != nullptr) {
+    FreeNode* node = central_[cls];
+    central_[cls] = node->next;
+    node->next = head;
+    head = node;
+    ++n;
+  }
+  central_count_[cls] -= static_cast<uint64_t>(n);
+  if (n < want) {
+    int carved = 0;
+    FreeNode* fresh = CarveLocked(cls, want - n, &carved);
+    // Splice: fresh chain in front of whatever the central list yielded.
+    if (fresh != nullptr) {
+      FreeNode* tail = fresh;
+      while (tail->next != nullptr) tail = tail->next;
+      tail->next = head;
+      head = fresh;
+      n += carved;
+    }
+  }
+  DECA_CHECK_GT(n, 0) << "arena failed to produce a class-" << cls << " slab";
+  *taken = n;
+  return head;
+}
+
+void ArenaAllocator::ReturnSlabs(int cls, FreeNode* head) {
+  if (head == nullptr) return;
+  const size_t slab = ClassBytes(cls);
+  const bool release = slab >= kReleaseThresholdBytes;
+  std::lock_guard<std::mutex> lock(mu_);
+  while (head != nullptr) {
+    FreeNode* next = head->next;
+    if (release) {
+      // Keep the node word resident; drop the rest of the slab's pages.
+      const size_t page = OsPageBytes();
+      auto* base = reinterpret_cast<uint8_t*>(head);
+      ReleaseRange(base + page, slab - page);
+    }
+    head->next = central_[cls];
+    central_[cls] = head;
+    ++central_count_[cls];
+    head = next;
+  }
+}
+
+Mapping ArenaAllocator::MapDirect(size_t bytes, int numa_node) {
+  MapRequest req;
+  req.bytes = bytes;
+  req.huge_pages = options_.huge_pages;
+  req.numa_policy = options_.numa_policy;
+  req.numa_node = numa_node;
+  Mapping m = MapAnonymous(req);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++direct_maps_;
+  bytes_reserved_ += m.bytes;
+  return m;
+}
+
+void ArenaAllocator::UnmapDirect(const Mapping& m) {
+  Unmap(m);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++direct_unmaps_;
+  bytes_reserved_ -= m.bytes;
+}
+
+void ArenaAllocator::AddGlobalStats(AllocStats* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out->chunks_mapped += chunks_mapped_;
+  out->hugepage_chunks += hugepage_chunks_;
+  out->arena_bytes_reserved += bytes_reserved_;
+}
+
+bool ArenaAllocator::AllSlabsReturned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (direct_maps_ != direct_unmaps_) return false;
+  for (int cls = 0; cls < kNumClasses; ++cls) {
+    if (central_count_[cls] != carved_count_[cls]) return false;
+  }
+  return true;
+}
+
+namespace {
+std::mutex g_global_mu;
+ArenaAllocator* g_global_arena = nullptr;  // intentionally immortal
+}  // namespace
+
+ArenaAllocator* ArenaAllocator::Global(const ArenaOptions& options) {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  if (g_global_arena == nullptr) {
+    g_global_arena = new ArenaAllocator(options);
+  }
+  return g_global_arena;
+}
+
+ArenaAllocator* ArenaAllocator::GlobalIfCreated() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  return g_global_arena;
+}
+
+}  // namespace deca::alloc

@@ -1,0 +1,114 @@
+#include "alloc/sys_mem.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <unistd.h>
+#else
+#include <cstdlib>
+#endif
+
+namespace deca::alloc {
+
+const char* HugePageModeName(HugePageMode m) {
+  switch (m) {
+    case HugePageMode::kOff: return "off";
+    case HugePageMode::kMadvise: return "madvise";
+    case HugePageMode::kHugetlb: return "hugetlb";
+  }
+  return "?";
+}
+
+const char* NumaPolicyName(NumaPolicy p) {
+  switch (p) {
+    case NumaPolicy::kNone: return "none";
+    case NumaPolicy::kInterleave: return "interleave";
+    case NumaPolicy::kLocal: return "local";
+  }
+  return "?";
+}
+
+NumaPolicy ParseNumaPolicy(const char* s) {
+  if (s != nullptr) {
+    if (std::strcmp(s, "interleave") == 0) return NumaPolicy::kInterleave;
+    if (std::strcmp(s, "local") == 0) return NumaPolicy::kLocal;
+  }
+  return NumaPolicy::kNone;
+}
+
+#if defined(__linux__)
+
+size_t OsPageBytes() {
+  static const size_t kPage = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  return kPage;
+}
+
+Mapping MapAnonymous(const MapRequest& req) {
+  Mapping m;
+  m.bytes = AlignUp(req.bytes, OsPageBytes());
+  // The NUMA policy/node in `req` is a placement seam only: recorded by the
+  // caller's stats, applied once an mbind-capable backend exists.
+  if (req.huge_pages == HugePageMode::kHugetlb) {
+    void* p = mmap(nullptr, m.bytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_HUGETLB, -1, 0);
+    if (p != MAP_FAILED) {
+      m.addr = p;
+      m.huge_backed = true;
+      return m;
+    }
+    // No hugetlb pool configured (ENOMEM/EINVAL): fall through to THP.
+  }
+  void* p = mmap(nullptr, m.bytes, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  DECA_CHECK(p != MAP_FAILED)
+      << "mmap(" << m.bytes << ") failed: " << std::strerror(errno);
+  m.addr = p;
+  if (req.huge_pages != HugePageMode::kOff) {
+#ifdef MADV_HUGEPAGE
+    m.huge_backed = madvise(p, m.bytes, MADV_HUGEPAGE) == 0;
+#endif
+  }
+  return m;
+}
+
+void Unmap(const Mapping& m) {
+  if (!m.valid()) return;
+  int rc = munmap(m.addr, m.bytes);
+  DECA_CHECK_EQ(rc, 0) << "munmap(" << m.addr << ", " << m.bytes
+                       << ") failed: " << std::strerror(errno);
+}
+
+void ReleaseRange(void* addr, size_t bytes) {
+  if (addr == nullptr || bytes == 0) return;
+  int rc = madvise(addr, bytes, MADV_DONTNEED);
+  // Hugetlb-backed ranges report EINVAL: they cannot give up partial pages.
+  DECA_CHECK(rc == 0 || errno == EINVAL)
+      << "madvise(DONTNEED, " << addr << ", " << bytes
+      << ") failed: " << std::strerror(errno);
+}
+
+#else  // !__linux__
+
+size_t OsPageBytes() { return 4096; }
+
+Mapping MapAnonymous(const MapRequest& req) {
+  Mapping m;
+  m.bytes = AlignUp(req.bytes, OsPageBytes());
+  // Portable rung: calloc gives the zero-fill guarantee mmap provides.
+  m.addr = std::calloc(1, m.bytes);
+  DECA_CHECK(m.addr != nullptr) << "calloc(" << m.bytes << ") failed";
+  return m;
+}
+
+void Unmap(const Mapping& m) { std::free(m.addr); }
+
+void ReleaseRange(void*, size_t) {}
+
+#endif  // __linux__
+
+}  // namespace deca::alloc

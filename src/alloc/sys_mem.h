@@ -1,0 +1,70 @@
+#ifndef DECA_ALLOC_SYS_MEM_H_
+#define DECA_ALLOC_SYS_MEM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace deca::alloc {
+
+/// How arena chunks ask the OS for huge-page backing. The ladder is
+/// strictly opportunistic: every rung falls back to the next one, and the
+/// plain anonymous mapping at the bottom cannot fail short of ENOMEM.
+enum class HugePageMode : uint8_t {
+  kOff = 0,      // plain anonymous pages only
+  kMadvise = 1,  // plain mapping + MADV_HUGEPAGE hint (THP), the default
+  kHugetlb = 2,  // try MAP_HUGETLB first, fall back to the kMadvise rung
+};
+
+/// NUMA placement hint seam. The policy is threaded through every chunk
+/// mapping so a later PR can wire `mbind`/`set_mempolicy` underneath it;
+/// today it is recorded in stats and is a deliberate no-op (the build
+/// image has no libnuma, and off Linux there is nothing to bind).
+enum class NumaPolicy : uint8_t {
+  kNone = 0,        // first-touch default
+  kInterleave = 1,  // round-robin chunk placement across nodes
+  kLocal = 2,       // bind chunks to the requesting thread's node
+};
+
+const char* HugePageModeName(HugePageMode m);
+const char* NumaPolicyName(NumaPolicy p);
+/// Parses "none" / "interleave" / "local" (anything else -> kNone).
+NumaPolicy ParseNumaPolicy(const char* s);
+
+/// One anonymous mapping returned by MapAnonymous. `huge_backed` records
+/// whether the huge-page rung that was asked for actually took (MAP_HUGETLB
+/// succeeded, or the MADV_HUGEPAGE hint was accepted).
+struct Mapping {
+  void* addr = nullptr;
+  size_t bytes = 0;
+  bool huge_backed = false;
+
+  bool valid() const { return addr != nullptr; }
+};
+
+struct MapRequest {
+  size_t bytes = 0;  // rounded up to the OS page size internally
+  HugePageMode huge_pages = HugePageMode::kMadvise;
+  NumaPolicy numa_policy = NumaPolicy::kNone;
+  int numa_node = -1;  // placement hint; -1 = unpinned
+};
+
+/// The OS page granularity (sysconf(_SC_PAGESIZE); 4096 off Linux).
+size_t OsPageBytes();
+
+/// Maps zero-filled anonymous memory, walking the huge-page ladder for the
+/// requested mode. Aborts with the errno string if even the plain rung
+/// fails — callers never see a null mapping.
+Mapping MapAnonymous(const MapRequest& req);
+
+/// munmap with errno checking; aborts on failure (a bad unmap means the
+/// allocator's bookkeeping is corrupt, not a recoverable condition).
+void Unmap(const Mapping& m);
+
+/// madvise(MADV_DONTNEED) on a page-aligned range: keeps the VA reserved
+/// but returns the physical pages. Errno-checked except for EINVAL, which
+/// hugetlb mappings legitimately return (they cannot drop single pages).
+void ReleaseRange(void* addr, size_t bytes);
+
+}  // namespace deca::alloc
+
+#endif  // DECA_ALLOC_SYS_MEM_H_

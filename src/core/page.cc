@@ -46,6 +46,20 @@ void PageGroup::EncodeRaw(ByteWriter* out) const {
   }
 }
 
+size_t PageGroup::EncodeRawTo(uint8_t* dst) const {
+  uint8_t* p = dst;
+  StoreRaw<uint32_t>(p, page_count());
+  p += sizeof(uint32_t);
+  for (uint32_t i = 0; i < page_count(); ++i) {
+    uint32_t used = used_[i];
+    StoreRaw<uint32_t>(p, used);
+    p += sizeof(uint32_t);
+    std::memcpy(p, Resolve({i, 0}), used);
+    p += used;
+  }
+  return static_cast<size_t>(p - dst);
+}
+
 std::shared_ptr<PageGroup> PageGroup::DecodeRaw(jvm::Heap* heap,
                                                 uint32_t page_bytes,
                                                 ByteReader* in) {

@@ -100,6 +100,10 @@ class PageGroup : public memory::PageFootprintSource {
   /// a header plus memcpys — no per-record serialization. The format is
   /// shared by the off-heap tier (T1) and the swap files (T2).
   void EncodeRaw(ByteWriter* out) const;
+  /// Direct-write variant of EncodeRaw into a caller-sized buffer of at
+  /// least encoded_raw_bytes() (the arena staging path: no intermediate
+  /// growable vector). Returns the bytes written (== encoded_raw_bytes()).
+  size_t EncodeRawTo(uint8_t* dst) const;
   /// Rebuilds a group from EncodeRaw bytes (allocating managed pages on
   /// `heap`; charges the execution pool like any fresh group).
   static std::shared_ptr<PageGroup> DecodeRaw(jvm::Heap* heap,

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "alloc/page_allocator.h"
 #include "common/bytes.h"
 #include "common/histogram.h"
 #include "common/logging.h"
@@ -414,6 +415,11 @@ class Heap {
 
   uint8_t* base() const { return base_; }
   size_t buffer_bytes() const { return buffer_bytes_; }
+  /// The executor's native allocator (null for standalone heaps). Spill
+  /// and tier paths borrow it for their staging buffers.
+  alloc::PageAllocator* page_allocator() const {
+    return config_.page_allocator;
+  }
   /// Advances and returns the mark epoch for a new collection cycle.
   uint64_t NextGcEpoch() { return ++gc_epoch_; }
   uint64_t gc_epoch() const { return gc_epoch_; }
@@ -444,7 +450,8 @@ class Heap {
 
   HeapConfig config_;
   ClassRegistry* registry_;
-  std::unique_ptr<uint8_t[]> buffer_;
+  std::unique_ptr<uint8_t[]> buffer_;      // standalone heaps only
+  alloc::Block arena_buffer_;              // when config.page_allocator set
   uint8_t* base_ = nullptr;
   size_t buffer_bytes_ = 0;
   std::unique_ptr<Collector> collector_;

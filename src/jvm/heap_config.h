@@ -4,6 +4,10 @@
 #include <cstddef>
 #include <cstdint>
 
+namespace deca::alloc {
+class PageAllocator;
+}  // namespace deca::alloc
+
 namespace deca::jvm {
 
 /// Which garbage collector manages the heap. Mirrors the three Hotspot
@@ -71,6 +75,15 @@ struct HeapConfig {
 
   /// Seed for the profiler's initial sampling offset.
   uint64_t profile_seed = 1;
+
+  /// Runtime wiring (never serialized; set by the owning Executor): when
+  /// non-null the heap's backing buffer is carved from this allocator — a
+  /// huge-page arena mapping under DECA_ARENA=1, a counted `new[]`
+  /// otherwise — so every PageGroup page physically lives in arena memory
+  /// while the GC simulation stays byte-for-byte identical. Null (the
+  /// default, and every standalone test heap) keeps the plain
+  /// make_unique buffer.
+  alloc::PageAllocator* page_allocator = nullptr;
 };
 
 }  // namespace deca::jvm

@@ -77,6 +77,31 @@ struct PauseAgg {
   double slice_max_ms = 0;
 };
 
+/// Native-allocator plane of a run (schema v5). Absent
+/// (`present == false`) for reports written before the arena subsystem
+/// or for standalone-heap runs that never touched a PageAllocator. The
+/// call/byte counters are deterministic — every engine consumer routes
+/// through the allocator in both DECA_ARENA modes, so they are
+/// bit-compared by report_diff. The slab/steal/chunk fields depend on
+/// thread timing and huge-page availability and are informational only
+/// (never bit-compared; zero when the arena is off).
+struct AllocAgg {
+  bool present = false;
+  bool arena = false;  // DECA_ARENA=1 (mmap slabs) vs fallback new[]
+  uint64_t alloc_calls = 0;
+  uint64_t free_calls = 0;
+  uint64_t bytes_requested = 0;
+  uint64_t slab_allocs = 0;
+  uint64_t slab_reuses = 0;
+  uint64_t freelist_steals = 0;
+  uint64_t remote_frees = 0;
+  uint64_t direct_maps = 0;
+  uint64_t direct_unmaps = 0;
+  uint64_t chunks_mapped = 0;
+  uint64_t hugepage_chunks = 0;
+  uint64_t arena_bytes_reserved = 0;
+};
+
 /// One workload run (one mode / configuration) inside a bench binary.
 struct ReportRun {
   std::string label;  // e.g. "LR-large/Deca"
@@ -85,19 +110,21 @@ struct ReportRun {
   EpochAgg epochs;             // streaming runs only
   TierAgg tier;                // tiered-store runs only
   PauseAgg pauses;             // GC pause/mark-slice histograms
+  AllocAgg alloc;              // native page-allocator counters
 
   const ReportMetric* Find(std::string_view name) const;
   void Add(std::string_view name, double value, bool exact);
 };
 
 /// The machine-readable result of one bench binary execution
-/// (`--json-out=` / `DECA_JSON_OUT`). Schema "deca-run-report" v4
+/// (`--json-out=` / `DECA_JSON_OUT`). Schema "deca-run-report" v5
 /// (v2 added the optional per-run "epochs" aggregate, v3 the optional
-/// per-run "tier" aggregate, v4 the optional per-run "pauses" aggregate;
-/// older reports are still parsed).
+/// per-run "tier" aggregate, v4 the optional per-run "pauses" aggregate,
+/// v5 the optional per-run "alloc" aggregate; older reports are still
+/// parsed).
 struct RunReport {
   static constexpr const char* kSchema = "deca-run-report";
-  static constexpr int kVersion = 4;
+  static constexpr int kVersion = 5;
   static constexpr int kMinVersion = 1;
 
   std::string bench;  // binary name, e.g. "fig11_breakdown"

@@ -71,7 +71,7 @@ CacheManager::CacheManager(jvm::Heap* heap, const SparkConfig* config,
                                   ? heap->memory_manager()->total_bytes()
                                   : config->storage_budget_bytes()))),
       t1_(heap->memory_manager()),
-      t2_(config->spill_dir, executor_id) {
+      t2_(config->spill_dir, executor_id, heap->page_allocator()) {
   heap_->AddRootProvider(this);
   std::error_code ec;
   std::filesystem::create_directories(cfg_->spill_dir, ec);
@@ -141,32 +141,41 @@ PackedBlock CacheManager::Pack(BlockKey key, const Entry& e,
   PackedBlock p;
   p.level = e.level;
   p.count = e.count;
-  ByteWriter w;
+  alloc::PageAllocator* pa = heap_->page_allocator();
   switch (e.level) {
     case StorageLevel::kMemoryObjects: {
       const RecordOps* ops = ops_.at(key.rdd_id);
       ScopedTimerMs timer(&metrics->ser_ms);
+      ByteWriter w;
       SerializeRecords(ops, e.data, e.count, &w);
+      p.bytes = alloc::Bytes::FromWriter(pa, w.TakeBuffer());
       break;
     }
-    case StorageLevel::kMemorySerialized:
+    case StorageLevel::kMemorySerialized: {
       // Already Kryo bytes; the packed form is the byte run itself.
-      w.WriteBytes(heap_->ArrayData(e.data), heap_->ArrayLength(e.data));
+      p.bytes = alloc::Bytes::Copy(pa, heap_->ArrayData(e.data),
+                                   heap_->ArrayLength(e.data));
       break;
-    case StorageLevel::kDecaPages:
+    }
+    case StorageLevel::kDecaPages: {
       // Decomposed bytes pack as-is — no per-record serialization cost
-      // (paper Appendix C).
-      e.pages->EncodeRaw(&w);
+      // (paper Appendix C). The staging buffer is sized exactly from
+      // encoded_raw_bytes() and written in place, so arena mode never
+      // round-trips through a growable vector.
+      const size_t n = e.pages->encoded_raw_bytes();
+      auto staged = alloc::Bytes::New(pa, n);
+      const size_t written = e.pages->EncodeRawTo(staged->mutable_data());
+      DECA_CHECK_EQ(written, n);
+      p.bytes = std::move(staged);
       break;
+    }
   }
-  p.bytes =
-      std::make_shared<const std::vector<uint8_t>>(w.TakeBuffer());
   return p;
 }
 
 void CacheManager::Unpack(BlockKey key, const PackedBlock& packed,
                           LoadedBlock* block, TaskMetrics* metrics) {
-  const std::vector<uint8_t>& data = *packed.bytes;
+  const alloc::Bytes& data = *packed.bytes;
   switch (packed.level) {
     case StorageLevel::kMemoryObjects: {
       const RecordOps* ops = ops_.at(key.rdd_id);

@@ -36,8 +36,9 @@ struct LoadedBlock {
   /// kDecaPages: the block's page group.
   std::shared_ptr<core::PageGroup> pages;
   /// Packed T1/T2 payload (lazy reads): Kryo records, the serialized
-  /// byte run, or raw page bytes depending on `level`.
-  std::shared_ptr<const std::vector<uint8_t>> packed;
+  /// byte run, or raw page bytes depending on `level`. Arena-backed under
+  /// DECA_ARENA=1 (same data()/size() surface as the old vector payload).
+  alloc::BytesPtr packed;
   bool temporary = false;
 
   bool valid() const {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "alloc/arena.h"
 #include "common/bytes.h"
 #include "exec/remote_task.h"
 #include "memory/memory_manager.h"
@@ -123,6 +124,10 @@ struct ExecutorSnapshot {
   double slice_p50_ms = 0;
   double slice_p99_ms = 0;
   double slice_max_ms = 0;
+  /// Native-allocator plane: this executor's PageAllocator counters
+  /// (per-executor fields only; the process-wide arena fields stay zero
+  /// here — the driver overlays them once after summing snapshots).
+  alloc::AllocStats alloc;
   /// Local shuffle-payload bytes per shuffle id (this executor's
   /// deposits only; the driver sums across executors).
   std::vector<uint64_t> shuffle_bytes;

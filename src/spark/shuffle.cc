@@ -516,19 +516,25 @@ void DecaSortSpillWriter::Merge(
               return less_(pages_->Resolve(a.first),
                            pages_->Resolve(b.first));
             });
-  // One cursor per spilled run, each holding a single record in memory.
+  // One cursor per spilled run, each holding a single record in an
+  // allocator-backed scratch buffer (arena slabs under DECA_ARENA=1).
   struct Run {
     std::FILE* file = nullptr;
-    std::vector<uint8_t> record;
+    alloc::ScratchBuffer record;
+    uint32_t size = 0;
     bool Next() {
       uint32_t bytes = 0;
       if (std::fread(&bytes, sizeof(bytes), 1, file) != 1) return false;
-      record.resize(bytes);
+      record.Reserve(bytes);
+      size = bytes;
       return std::fread(record.data(), 1, bytes, file) == bytes;
     }
   };
-  std::vector<Run> runs(files_.size());
+  std::vector<Run> runs;
+  runs.reserve(files_.size());
   for (size_t i = 0; i < files_.size(); ++i) {
+    runs.push_back(Run{nullptr,
+                       alloc::ScratchBuffer(heap_->page_allocator()), 0});
     runs[i].file = std::fopen(files_[i].c_str(), "rb");
     DECA_CHECK(runs[i].file != nullptr)
         << "cannot open spill file for reading: " << files_[i] << ": "
@@ -561,7 +567,7 @@ void DecaSortSpillWriter::Merge(
       ++mem_pos;
     } else {
       Run& r = runs[static_cast<size_t>(best)];
-      fn(r.record.data(), static_cast<uint32_t>(r.record.size()));
+      fn(r.record.data(), r.size);
       if (!r.Next()) {
         run_alive[static_cast<size_t>(best)] = false;
         --alive;

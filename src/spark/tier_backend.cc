@@ -23,17 +23,20 @@ void WriteFileBytes(const std::string& path, const uint8_t* data,
   std::fclose(f);
 }
 
-std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+/// Reads a whole swap file into an allocator-backed buffer (arena slabs
+/// under DECA_ARENA=1, counted `new[]` otherwise).
+alloc::BytesPtr ReadFileBytes(const std::string& path,
+                              alloc::PageAllocator* pa) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   DECA_CHECK(f != nullptr) << "cannot open swap file for reading: " << path
                            << ": " << std::strerror(errno);
   std::fseek(f, 0, SEEK_END);
   long size = std::ftell(f);
   std::fseek(f, 0, SEEK_SET);
-  std::vector<uint8_t> data(static_cast<size_t>(size));
+  auto data = alloc::Bytes::New(pa, static_cast<size_t>(size));
   if (size > 0) {
-    size_t n = std::fread(data.data(), 1, data.size(), f);
-    DECA_CHECK_EQ(n, data.size());
+    size_t n = std::fread(data->mutable_data(), 1, data->size(), f);
+    DECA_CHECK_EQ(n, data->size());
   }
   std::fclose(f);
   return data;
@@ -123,12 +126,10 @@ PackedBlock DiskTier::Load(BlockKey key, TaskMetrics* metrics) const {
   PackedBlock block;
   block.level = it->second.level;
   block.count = it->second.count;
-  std::vector<uint8_t> data;
   {
     ScopedTimerMs timer(&metrics->spill_ms);
-    data = ReadFileBytes(it->second.path);
+    block.bytes = ReadFileBytes(it->second.path, pa_);
   }
-  block.bytes = std::make_shared<const std::vector<uint8_t>>(std::move(data));
   return block;
 }
 

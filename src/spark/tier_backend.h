@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "alloc/page_allocator.h"
 #include "memory/memory_manager.h"
 #include "spark/config.h"
 #include "spark/metrics.h"
@@ -53,7 +54,9 @@ struct BlockKeyHash {
 struct PackedBlock {
   StorageLevel level = StorageLevel::kMemoryObjects;
   uint32_t count = 0;
-  std::shared_ptr<const std::vector<uint8_t>> bytes;
+  // Arena-capable payload (alloc::Bytes keeps the vector's data()/size()
+  // shape); under DECA_ARENA=1 these live in huge-page slab memory.
+  alloc::BytesPtr bytes;
 
   bool valid() const { return bytes != nullptr; }
   uint64_t size() const { return bytes != nullptr ? bytes->size() : 0; }
@@ -142,8 +145,10 @@ class OffHeapTier : public TierBackend {
 /// keeps level/count in its entry.
 class DiskTier : public TierBackend {
  public:
-  DiskTier(std::string dir, int executor_id)
-      : dir_(std::move(dir)), executor_id_(executor_id) {}
+  /// `pa` (may be null) backs Load's read buffers: arena slabs under
+  /// DECA_ARENA=1, counted `new[]` otherwise.
+  DiskTier(std::string dir, int executor_id, alloc::PageAllocator* pa)
+      : dir_(std::move(dir)), executor_id_(executor_id), pa_(pa) {}
   ~DiskTier() override;
 
   const char* name() const override { return "disk"; }
@@ -170,6 +175,7 @@ class DiskTier : public TierBackend {
 
   std::string dir_;
   int executor_id_;
+  alloc::PageAllocator* pa_;
   std::unordered_map<BlockKey, Slot, BlockKeyHash> blocks_;
 };
 

@@ -57,6 +57,9 @@ void FinalizeResult(spark::SparkContext* ctx, RunResult* result) {
   result->executor_memory = ctx->ExecutorMemorySnapshots();
   result->tier_active = ctx->config().t1_enabled();
   result->tier = ctx->TotalTierCounters();
+  result->alloc = ctx->TotalAllocStats();
+  result->alloc_active = result->alloc.alloc_calls > 0;
+  result->alloc_arena = ctx->config().arena_enabled();
   result->pauses = ctx->TotalGcPauses();
   if (ctx->net_stats() != nullptr) {
     result->net_active = true;

@@ -1,0 +1,293 @@
+// Native arena page-allocator tests (src/alloc): size-class geometry,
+// slab pooling and write integrity, the direct-map path, counting parity
+// between arena and fallback modes, all three huge-page rungs (including
+// the forced MAP_HUGETLB -> plain-mmap fallback), cross-thread frees and
+// shard steals, the crash-wipe zero-leak invariant, and the engine-level
+// DECA_ARENA=0|1 equivalence matrix (digests, GC counts, fault counters,
+// and alloc counters bit-identical across seeds, thread counts, and the
+// in-process vs one-daemon-per-executor backends).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "alloc/arena.h"
+#include "alloc/page_allocator.h"
+#include "core/page.h"
+#include "jvm/class_registry.h"
+#include "jvm/heap.h"
+#include "spark/config.h"
+#include "workloads/wordcount.h"
+
+namespace deca {
+namespace {
+
+alloc::ArenaOptions EnabledOptions() {
+  alloc::ArenaOptions o;
+  o.enabled = true;
+  return o;
+}
+
+TEST(ArenaAllocatorTest, SizeClassGeometry) {
+  using A = alloc::ArenaAllocator;
+  EXPECT_EQ(A::SizeClass(1), 0);
+  EXPECT_EQ(A::SizeClass(64), 0);
+  EXPECT_EQ(A::SizeClass(65), 1);
+  EXPECT_EQ(A::SizeClass(128), 1);
+  EXPECT_EQ(A::SizeClass(4u << 20), A::kNumClasses - 1);
+  EXPECT_EQ(A::SizeClass((4u << 20) + 1), -1);
+  size_t prev = 0;
+  for (int c = 0; c < A::kNumClasses; ++c) {
+    size_t bytes = A::ClassBytes(c);
+    EXPECT_EQ(bytes & (bytes - 1), 0u) << "class " << c << " not pow2";
+    EXPECT_GT(bytes, prev);
+    prev = bytes;
+  }
+  EXPECT_EQ(A::ClassBytes(0), A::kMinClassBytes);
+  EXPECT_EQ(A::ClassBytes(A::kNumClasses - 1), A::kMaxClassBytes);
+}
+
+TEST(ArenaAllocatorTest, SlabReuseAndWriteIntegrity) {
+  alloc::ArenaAllocator arena(EnabledOptions());
+  alloc::PageAllocator pa(&arena, /*shards=*/1);
+  alloc::Block a = pa.Allocate(40000);
+  ASSERT_TRUE(a.valid());
+  EXPECT_EQ(a.kind, alloc::Block::kSlab);
+  EXPECT_GE(a.cap, a.size);
+  EXPECT_EQ(a.size, 40000u);
+  std::memset(a.data, 0xab, a.size);
+  EXPECT_EQ(a.data[0], 0xab);
+  EXPECT_EQ(a.data[a.size - 1], 0xab);
+  uint8_t* first = a.data;
+  pa.Free(&a);
+  EXPECT_FALSE(a.valid());
+
+  // Same class again: the slab comes off this thread's shard stack.
+  alloc::Block b = pa.Allocate(50000);
+  EXPECT_EQ(b.data, first);
+  pa.Free(&b);
+  alloc::AllocStats s = pa.Stats();
+  EXPECT_EQ(s.alloc_calls, 2u);
+  EXPECT_EQ(s.free_calls, 2u);
+  EXPECT_EQ(s.bytes_requested, 90000u);
+  EXPECT_GE(s.slab_reuses, 1u);
+}
+
+TEST(ArenaAllocatorTest, DirectMapPathAboveMaxClass) {
+  alloc::ArenaAllocator arena(EnabledOptions());
+  alloc::PageAllocator pa(&arena, /*shards=*/1);
+  const size_t big = (4u << 20) + 4096;
+  alloc::Block b = pa.Allocate(big);
+  ASSERT_TRUE(b.valid());
+  EXPECT_EQ(b.kind, alloc::Block::kDirect);
+  // Fresh anonymous mapping: zero-filled.
+  EXPECT_EQ(b.data[0], 0);
+  EXPECT_EQ(b.data[big - 1], 0);
+  b.data[big - 1] = 7;
+  pa.Free(&b);
+  alloc::AllocStats s = pa.Stats();
+  EXPECT_EQ(s.direct_maps, 1u);
+  EXPECT_EQ(s.direct_unmaps, 1u);
+  EXPECT_TRUE(arena.AllSlabsReturned());
+}
+
+// The determinism contract: an identical request sequence produces
+// identical alloc_calls/free_calls/bytes_requested whether the arena backs
+// the blocks or new[] does.
+TEST(ArenaAllocatorTest, FallbackModeCountsIdentically) {
+  alloc::ArenaAllocator arena(EnabledOptions());
+  alloc::PageAllocator on(&arena, /*shards=*/2);
+  alloc::ArenaOptions off_opts;  // enabled == false
+  alloc::PageAllocator off(off_opts, /*shards=*/2);
+  EXPECT_TRUE(on.arena_active());
+  EXPECT_FALSE(off.arena_active());
+
+  const size_t sizes[] = {100, 4096, 70000, 1u << 20, (4u << 20) + 1};
+  for (alloc::PageAllocator* pa : {&on, &off}) {
+    std::vector<alloc::Block> live;
+    for (size_t n : sizes) live.push_back(pa->Allocate(n));
+    for (auto& b : live) {
+      ASSERT_TRUE(b.valid());
+      b.data[0] = 1;  // every mode hands out writable memory
+      pa->Free(&b);
+    }
+    pa->NoteAlloc(12345);
+    pa->NoteFree();
+  }
+  alloc::AllocStats a = on.Stats();
+  alloc::AllocStats f = off.Stats();
+  EXPECT_EQ(a.alloc_calls, f.alloc_calls);
+  EXPECT_EQ(a.free_calls, f.free_calls);
+  EXPECT_EQ(a.bytes_requested, f.bytes_requested);
+  // The environment-dependent plane differs by design: the fallback never
+  // touches slabs or mappings.
+  EXPECT_EQ(f.slab_allocs + f.slab_reuses + f.direct_maps, 0u);
+}
+
+TEST(ArenaAllocatorTest, HugePageModesAllServeWritableMemory) {
+  for (alloc::HugePageMode mode :
+       {alloc::HugePageMode::kOff, alloc::HugePageMode::kMadvise,
+        alloc::HugePageMode::kHugetlb}) {
+    SCOPED_TRACE(alloc::HugePageModeName(mode));
+    alloc::ArenaOptions o = EnabledOptions();
+    o.huge_pages = mode;  // kHugetlb must fall back when no hugetlb pool
+    alloc::ArenaAllocator arena(o);
+    alloc::PageAllocator pa(&arena, /*shards=*/1);
+    alloc::Block b = pa.Allocate(256u << 10);
+    ASSERT_TRUE(b.valid());
+    std::memset(b.data, 0x5a, b.size);
+    EXPECT_EQ(b.data[b.size - 1], 0x5a);
+    pa.Free(&b);
+    alloc::AllocStats s;
+    arena.AddGlobalStats(&s);
+    EXPECT_GE(s.chunks_mapped, 1u);
+    EXPECT_GE(s.arena_bytes_reserved, o.chunk_bytes);
+  }
+}
+
+TEST(ArenaAllocatorTest, RemoteFreesAndShardSteals) {
+  alloc::ArenaAllocator arena(EnabledOptions());
+  alloc::PageAllocator pa(&arena, /*shards=*/2);
+  constexpr int kBlocks = 16;
+  std::vector<alloc::Block> blocks(kBlocks);
+
+  // Thread A allocates (registers shard 0), thread B frees (shard 1):
+  // every free is remote, and B's subsequent allocations drain what A's
+  // blocks left on B's stack, then raid A's shard.
+  std::thread alloc_thread([&] {
+    for (auto& b : blocks) {
+      b = pa.Allocate(64u << 10);
+      b.data[0] = 1;
+    }
+  });
+  alloc_thread.join();
+  std::thread free_thread([&] {
+    for (auto& b : blocks) pa.Free(&b);
+    // Re-allocate more than this shard holds to force a steal or a carve.
+    std::vector<alloc::Block> again(kBlocks);
+    for (auto& b : again) b = pa.Allocate(64u << 10);
+    for (auto& b : again) pa.Free(&b);
+  });
+  free_thread.join();
+
+  alloc::AllocStats s = pa.Stats();
+  EXPECT_EQ(s.alloc_calls, 2u * kBlocks);
+  EXPECT_EQ(s.free_calls, 2u * kBlocks);
+  EXPECT_GE(s.remote_frees, static_cast<uint64_t>(kBlocks));
+  EXPECT_GE(s.slab_reuses, static_cast<uint64_t>(kBlocks));
+}
+
+// Crash-wipe path: Heap::Reset() wipes the simulated heap in place (the
+// arena block stays checked out for the heap's lifetime), and tearing the
+// heap + allocator down returns every slab — the zero-leak invariant
+// ASan enforces on this whole binary.
+TEST(ArenaAllocatorTest, CrashWipeAndTeardownLeakNothing) {
+  alloc::ArenaAllocator arena(EnabledOptions());
+  {
+    alloc::PageAllocator pa(&arena, /*shards=*/1);
+    jvm::ClassRegistry registry;
+    jvm::HeapConfig hc;
+    hc.heap_bytes = 8u << 20;
+    hc.page_allocator = &pa;
+    jvm::Heap heap(hc, &registry);
+    {
+      core::PageGroup pages(&heap, 16u << 10);
+      for (int i = 0; i < 1000; ++i) pages.Append(64);
+      EXPECT_GT(pages.page_count(), 0u);
+    }
+    heap.Reset();  // executor crash-wipe
+    // Post-wipe the heap is reusable and still arena-backed.
+    core::PageGroup after(&heap, 16u << 10);
+    after.Append(64);
+  }
+  EXPECT_TRUE(arena.AllSlabsReturned());
+}
+
+spark::SparkConfig ArenaConfig(bool arena_on, int threads,
+                               spark::DistMode mode) {
+  spark::SparkConfig cfg;
+  cfg.num_executors = 2;
+  cfg.partitions_per_executor = 2;
+  cfg.heap.heap_bytes = 32u << 20;
+  cfg.num_worker_threads = threads;
+  cfg.dist_mode = mode;
+  cfg.arena.enabled = arena_on;
+  cfg.cluster.heartbeat_interval_ms = 20;
+  cfg.cluster.heartbeat_miss_threshold = 2;
+  cfg.cluster.reconnect_probes = 2;
+  cfg.cluster.retry_backoff_base_ms = 5;
+  return cfg;
+}
+
+workloads::WordCountResult Wc(bool arena_on, int threads, uint64_t seed,
+                              spark::DistMode mode,
+                              workloads::Mode wmode) {
+  workloads::WordCountParams p;
+  p.total_words = 1u << 15;
+  p.distinct_keys = 500;
+  p.seed = seed;
+  p.mode = wmode;
+  p.spark = ArenaConfig(arena_on, threads, mode);
+  return workloads::RunWordCount(p);
+}
+
+void ExpectSameResult(const workloads::WordCountResult& a,
+                      const workloads::WordCountResult& b) {
+  EXPECT_EQ(a.total_count, b.total_count);
+  EXPECT_EQ(a.distinct_found, b.distinct_found);
+  EXPECT_EQ(a.shuffle_bytes, b.shuffle_bytes);
+  EXPECT_EQ(a.run.minor_gcs, b.run.minor_gcs);
+  EXPECT_EQ(a.run.full_gcs, b.run.full_gcs);
+  EXPECT_EQ(a.run.task_retries, b.run.task_retries);
+  EXPECT_EQ(a.run.injected_faults, b.run.injected_faults);
+  EXPECT_EQ(a.run.oom_recoveries, b.run.oom_recoveries);
+  EXPECT_EQ(a.run.pressure_evictions, b.run.pressure_evictions);
+  // The allocator's deterministic plane is part of the contract too.
+  EXPECT_EQ(a.run.alloc.alloc_calls, b.run.alloc.alloc_calls);
+  EXPECT_EQ(a.run.alloc.free_calls, b.run.alloc.free_calls);
+  EXPECT_EQ(a.run.alloc.bytes_requested, b.run.alloc.bytes_requested);
+}
+
+TEST(ArenaEngineTest, ArenaOffOnEquivalenceMatrix) {
+  for (uint64_t seed : {7u, 8u}) {
+    for (int threads : {0, 2}) {
+      for (workloads::Mode wmode :
+           {workloads::Mode::kSpark, workloads::Mode::kDeca}) {
+        SCOPED_TRACE(testing::Message()
+                     << "seed=" << seed << " threads=" << threads
+                     << " mode=" << workloads::ModeName(wmode));
+        workloads::WordCountResult off =
+            Wc(false, threads, seed, spark::DistMode::kInProcess, wmode);
+        workloads::WordCountResult on =
+            Wc(true, threads, seed, spark::DistMode::kInProcess, wmode);
+        EXPECT_FALSE(off.run.alloc_arena);
+        EXPECT_TRUE(on.run.alloc_arena);
+        EXPECT_TRUE(on.run.alloc_active);
+        EXPECT_GT(on.run.alloc.alloc_calls, 0u);
+        ExpectSameResult(off, on);
+      }
+    }
+  }
+}
+
+TEST(ArenaEngineTest, ArenaProcessModeMatchesInProcess) {
+  workloads::WordCountResult local =
+      Wc(true, 0, 7, spark::DistMode::kInProcess, workloads::Mode::kDeca);
+  workloads::WordCountResult proc =
+      Wc(true, 0, 7, spark::DistMode::kProcess, workloads::Mode::kDeca);
+  ASSERT_TRUE(proc.run.dist_active);
+  ExpectSameResult(local, proc);
+}
+
+// After every context above has been torn down, the process-global arena
+// must hold every slab it ever carved — nothing checked out, nothing lost.
+TEST(ArenaEngineTest, ZGlobalArenaZeroLeakAfterAllRuns) {
+  alloc::ArenaAllocator* global = alloc::ArenaAllocator::GlobalIfCreated();
+  ASSERT_NE(global, nullptr);  // the equivalence matrix created it
+  EXPECT_TRUE(global->AllSlabsReturned());
+}
+
+}  // namespace
+}  // namespace deca
